@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared plumbing for the exhibit benchmarks.
+ *
+ * Every bench binary prints its reproduced table/figure first (so
+ * running all benches regenerates the paper's evaluation section) and
+ * then runs google-benchmark timings of the simulation kernels behind
+ * it.  The evaluation of the three standard workloads is cached per
+ * process.
+ */
+
+#ifndef DIRSIM_BENCH_COMMON_HH
+#define DIRSIM_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/evaluation.hh"
+#include "analysis/exhibits.hh"
+#include "gen/workloads.hh"
+
+namespace dirsim::bench
+{
+
+/** Quarter-size standard evaluation, computed once per binary. */
+inline const analysis::Evaluation &
+standardEval()
+{
+    static const analysis::Evaluation eval =
+        analysis::evaluateStandard();
+    return eval;
+}
+
+/** Number of CPUs in the standard workloads (for rendering). */
+constexpr unsigned standardCpus = 4;
+
+/**
+ * Print the exhibit, then hand over to google-benchmark.  Call from
+ * main() after registering benchmarks.
+ */
+inline int
+runBench(int argc, char **argv, const std::string &exhibit)
+{
+    std::cout << exhibit << "\n";
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace dirsim::bench
+
+#endif // DIRSIM_BENCH_COMMON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Protocol face-off: the paper's full small-multiprocessor evaluation
+ * on the three workloads (Sections 4-5), printed exhibit by exhibit.
+ *
+ * Usage: protocol_faceoff [--full]
+ *   --full  use full-size (~3.2M reference) traces as in the paper;
+ *           default is quarter-size for a fast run.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "analysis/evaluation.hh"
+#include "analysis/exhibits.hh"
+#include "gen/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dirsim;
+
+    const bool full_size =
+        argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+    const auto workloads = gen::standardWorkloads(full_size);
+    std::cout << analysis::table3(
+                     analysis::characterizeWorkloads(workloads))
+                     .toString()
+              << "\n";
+
+    const analysis::Evaluation eval =
+        analysis::evaluateWorkloads(workloads);
+
+    std::cout << analysis::table4(eval).toString() << "\n";
+    std::cout << analysis::renderFigure1(analysis::figure1(eval),
+                                         5)
+                     .toString()
+              << "\n";
+    std::cout << analysis::figure2(eval).toString() << "\n";
+    std::cout << analysis::figure3(eval).toString() << "\n";
+    std::cout << analysis::table5(eval).toString() << "\n";
+    std::cout << analysis::figure5(eval).toString() << "\n";
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * One-shot reproduction driver: runs the complete evaluation — every
+ * table and figure of the paper plus the extension studies — and
+ * writes each exhibit as both aligned text and CSV into an output
+ * directory, so the whole paper can be regenerated (and plotted) with
+ * a single command.
+ *
+ * Usage: reproduce_paper [outdir] [--full]
+ *   outdir  defaults to ./results
+ *   --full  full-size (~3.2M reference) traces
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/evaluation.hh"
+#include "analysis/exhibits.hh"
+#include "analysis/analytical.hh"
+#include "analysis/extensions.hh"
+#include "analysis/system_perf.hh"
+#include "directory/storage.hh"
+#include "gen/workloads.hh"
+
+namespace
+{
+
+using namespace dirsim;
+
+std::filesystem::path outDir;
+
+void
+emit(const std::string &name, const stats::TextTable &table)
+{
+    std::cout << table.toString() << "\n";
+    std::ofstream txt(outDir / (name + ".txt"));
+    txt << table.toString();
+    std::ofstream csv(outDir / (name + ".csv"));
+    csv << table.toCsv();
+    if (!txt || !csv)
+        throw std::runtime_error("cannot write exhibit " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool full_size = false;
+    outDir = "results";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--full") == 0)
+            full_size = true;
+        else
+            outDir = argv[a];
+    }
+    std::filesystem::create_directories(outDir);
+    std::cout << "Writing exhibits to " << outDir << "/ ...\n\n";
+
+    const auto workloads = gen::standardWorkloads(full_size);
+
+    emit("table1", analysis::table1());
+    emit("table2", analysis::table2());
+    emit("table3",
+         analysis::table3(analysis::characterizeWorkloads(workloads)));
+
+    const analysis::Evaluation eval =
+        analysis::evaluateWorkloads(workloads);
+    emit("table4", analysis::table4(eval));
+    emit("figure1",
+         analysis::renderFigure1(analysis::figure1(eval), 5));
+    emit("figure2", analysis::figure2(eval));
+    emit("figure3", analysis::figure3(eval));
+    emit("table5", analysis::table5(eval));
+    emit("figure4", analysis::figure4(eval));
+    emit("figure5", analysis::figure5(eval));
+    emit("sec51_overhead",
+         analysis::section51(eval, {0.0, 1.0, 2.0, 4.0}));
+
+    {
+        analysis::EvalOptions opts;
+        opts.dropLockTests = true;
+        const analysis::Evaluation no_locks =
+            analysis::evaluateWorkloads(workloads, opts);
+        emit("sec52_spinlocks", analysis::section52(eval, no_locks));
+    }
+
+    emit("sec6_alternatives",
+         analysis::renderSection6(analysis::section6(eval, 8.0), 8.0));
+    {
+        const std::vector<unsigned> pointer_counts = {1, 2, 3, 4};
+        emit("sec6_dirinb_sweep",
+             analysis::limitedSweepTable(
+                 analysis::limitedSweep(workloads, pointer_counts),
+                 pointer_counts));
+    }
+    emit("ext_directory_messages",
+         analysis::renderDirectoryMessages(
+             analysis::directoryMessageStudy(full_size)));
+
+    // System limit (Section 5 closing paragraph).
+    {
+        std::vector<analysis::SystemEstimate> estimates;
+        for (const auto &sc : analysis::schemeCosts(eval.average)) {
+            estimates.push_back(analysis::systemEstimate(
+                sc.pipelined, analysis::MachineParams{}));
+        }
+        emit("sec5_system_limit",
+             analysis::renderSystemLimits(estimates, {4, 8, 16, 32}));
+    }
+
+    // Extension studies.
+    emit("ext_scaling",
+         analysis::renderScaling(analysis::scalingStudy({2, 4, 8, 16})));
+    emit("ext_finite_cache",
+         analysis::renderFiniteCache(analysis::finiteCacheStudy(
+             {16 * 1024, 128 * 1024, 1024 * 1024}, full_size)));
+    emit("ext_sharing_domain",
+         analysis::renderSharingDomain(
+             analysis::sharingDomainStudy(0.02, full_size)));
+    emit("ext_network",
+         analysis::renderNetwork(
+             analysis::networkStudy({2, 4, 8, 16, 32, 64})));
+    emit("ext_home_locality",
+         analysis::renderHomeLocality(
+             analysis::homeLocalityStudy({2, 4, 8, 16, 32})));
+    emit("ext_analytical",
+         analysis::renderAnalytical(
+             analysis::analyticalStudy(workloads)));
+
+    std::cout << "Done: " << outDir << "/ contains every exhibit as "
+              << ".txt and .csv\n";
+    return 0;
+}

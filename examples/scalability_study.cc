@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Scalability study: the large-machine question the paper poses but
+ * could not answer with 4-CPU ATUM traces.
+ *
+ * Sweeps the processor count with the generic scaled workload and
+ * reports, per machine size:
+ *   - bus cycles/reference for Dir1NB, Dir0B, DirnNB and Dragon;
+ *   - the Figure-1 statistic (share of clean-block writes that
+ *     invalidate at most one cache) — the paper's argument for
+ *     limited-pointer directories stands or falls with it;
+ *   - the DiriB pointer sweep at a realistic broadcast cost, showing
+ *     where extra pointers stop paying off;
+ *   - directory storage per memory block for the competing
+ *     organisations at that scale.
+ *
+ * Usage: scalability_study [maxCpus]   (default 32, power of two)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "analysis/evaluation.hh"
+#include "analysis/exhibits.hh"
+#include "analysis/extensions.hh"
+#include "bus/bus_model.hh"
+#include "directory/storage.hh"
+#include "sim/cost_model.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dirsim;
+
+    unsigned max_cpus = 32;
+    if (argc > 1)
+        max_cpus = static_cast<unsigned>(std::atoi(argv[1]));
+    if (max_cpus < 2 || max_cpus > 64) {
+        std::cerr << "maxCpus must be in [2, 64]\n";
+        return 1;
+    }
+
+    std::vector<unsigned> counts;
+    for (unsigned n = 2; n <= max_cpus; n *= 2)
+        counts.push_back(n);
+
+    std::cout << "Scaling the directory-scheme evaluation to "
+              << max_cpus << " CPUs...\n\n";
+    const auto points = analysis::scalingStudy(counts);
+    std::cout << analysis::renderScaling(points).toString() << "\n";
+
+    // DiriB pointer sweep at the largest machine.
+    const gen::WorkloadConfig big =
+        gen::scaledConfig(max_cpus, 100'000 * max_cpus);
+    const analysis::Evaluation eval =
+        analysis::evaluateWorkloads({big});
+    const auto pipe = bus::standardBuses().pipelined;
+    stats::TextTable sweep(
+        "DiriB at " + std::to_string(max_cpus) +
+            " CPUs (broadcast cost b = cycles to reach every cache)",
+        {"i", "b=4", "b=" + std::to_string(max_cpus)});
+    for (unsigned i : {1u, 2u, 4u, 8u}) {
+        sim::CostOptions opts;
+        opts.nPointers = i;
+        opts.broadcastCost = 4.0;
+        const double b4 = sim::computeCost(sim::Scheme::DirIB,
+                                           eval.average.inval, pipe,
+                                           opts)
+                              .total();
+        opts.broadcastCost = max_cpus;
+        const double bn = sim::computeCost(sim::Scheme::DirIB,
+                                           eval.average.inval, pipe,
+                                           opts)
+                              .total();
+        sweep.addRow({std::to_string(i), stats::TextTable::num(b4),
+                      stats::TextTable::num(bn)});
+    }
+    std::cout << sweep.toString() << "\n";
+
+    // Storage comparison at the swept machine sizes.
+    const auto storage =
+        directory::storageTable(counts, directory::StorageParams{});
+    std::vector<std::string> headers = {"Scheme"};
+    for (unsigned n : counts)
+        headers.push_back("n=" + std::to_string(n));
+    stats::TextTable storage_table(
+        "Directory storage (bits per memory block)", headers);
+    for (const auto &row : storage) {
+        std::vector<std::string> cells = {row.scheme};
+        for (double bits : row.bitsPerBlock)
+            cells.push_back(stats::TextTable::num(bits, 1));
+        storage_table.addRow(cells);
+    }
+    std::cout << storage_table.toString();
+    return 0;
+}

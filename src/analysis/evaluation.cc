@@ -1,0 +1,180 @@
+#include "analysis/evaluation.hh"
+
+#include "coherence/berkeley_engine.hh"
+#include "coherence/dragon_engine.hh"
+#include "coherence/inval_engine.hh"
+#include "coherence/limited_engine.hh"
+#include "gen/workload.hh"
+#include "trace/filter.hh"
+
+namespace dirsim::analysis
+{
+
+namespace
+{
+
+unsigned
+unitsFor(const gen::WorkloadConfig &cfg, const EvalOptions &opts)
+{
+    if (opts.nUnits != 0)
+        return opts.nUnits;
+    return opts.sim.domain == sim::SharingDomain::Process
+               ? cfg.space.nProcesses
+               : cfg.space.nCpus;
+}
+
+/**
+ * Run @p build-provided engines over one workload, optionally with the
+ * lock-test filter, and return the simulator for result harvesting.
+ */
+void
+runWorkload(const gen::WorkloadConfig &cfg, const EvalOptions &opts,
+            sim::Simulator &simulator)
+{
+    gen::WorkloadSource source(cfg);
+    if (opts.dropLockTests) {
+        trace::FilteredSource filtered = trace::dropLockTests(source);
+        simulator.run(filtered);
+    } else {
+        simulator.run(source);
+    }
+}
+
+} // namespace
+
+Evaluation
+evaluateWorkloads(const std::vector<gen::WorkloadConfig> &cfgs,
+                  const EvalOptions &opts)
+{
+    Evaluation eval;
+    eval.average.trace = "average";
+    for (const gen::WorkloadConfig &cfg : cfgs) {
+        const unsigned units = unitsFor(cfg, opts);
+
+        sim::Simulator simulator(opts.sim);
+        coherence::InvalEngineConfig inval_cfg;
+        inval_cfg.nUnits = units;
+        auto &inval = simulator.addEngine(
+            std::make_unique<coherence::InvalEngine>(inval_cfg));
+        auto &dir1nb = simulator.addEngine(
+            std::make_unique<coherence::LimitedEngine>(units, 1));
+        auto &dragon = simulator.addEngine(
+            std::make_unique<coherence::DragonEngine>(units));
+
+        runWorkload(cfg, opts, simulator);
+
+        TraceEvaluation te;
+        te.trace = cfg.name;
+        te.inval = inval.results();
+        te.dir1nb = dir1nb.results();
+        te.dragon = dragon.results();
+
+        eval.average.inval.merge(te.inval);
+        eval.average.dir1nb.merge(te.dir1nb);
+        eval.average.dragon.merge(te.dragon);
+        eval.traces.push_back(std::move(te));
+    }
+    return eval;
+}
+
+Evaluation
+evaluateStandard(bool fullSize)
+{
+    return evaluateWorkloads(gen::standardWorkloads(fullSize));
+}
+
+std::vector<trace::TraceCharacteristics>
+characterizeWorkloads(const std::vector<gen::WorkloadConfig> &cfgs)
+{
+    std::vector<trace::TraceCharacteristics> out;
+    for (const gen::WorkloadConfig &cfg : cfgs) {
+        gen::WorkloadSource source(cfg);
+        out.push_back(trace::characterize(source, cfg.name,
+                                          cfg.space.blockBytes));
+    }
+    return out;
+}
+
+std::vector<coherence::EngineResults>
+limitedSweep(const std::vector<gen::WorkloadConfig> &cfgs,
+             const std::vector<unsigned> &pointerCounts,
+             const EvalOptions &opts)
+{
+    std::vector<coherence::EngineResults> merged(pointerCounts.size());
+    for (const gen::WorkloadConfig &cfg : cfgs) {
+        const unsigned units = unitsFor(cfg, opts);
+        sim::Simulator simulator(opts.sim);
+        std::vector<coherence::CoherenceEngine *> engines;
+        for (unsigned i : pointerCounts) {
+            engines.push_back(&simulator.addEngine(
+                std::make_unique<coherence::LimitedEngine>(units, i)));
+        }
+        runWorkload(cfg, opts, simulator);
+        for (std::size_t e = 0; e < engines.size(); ++e) {
+            merged[e].name = engines[e]->results().name;
+            merged[e].merge(engines[e]->results());
+        }
+    }
+    return merged;
+}
+
+coherence::EngineResults
+invalWithDirectory(const std::vector<gen::WorkloadConfig> &cfgs,
+                   const directory::DirEntryFactory &factory,
+                   const EvalOptions &opts)
+{
+    coherence::EngineResults merged;
+    for (const gen::WorkloadConfig &cfg : cfgs) {
+        sim::Simulator simulator(opts.sim);
+        coherence::InvalEngineConfig inval_cfg;
+        inval_cfg.nUnits = unitsFor(cfg, opts);
+        inval_cfg.dirFactory = &factory;
+        auto &engine = simulator.addEngine(
+            std::make_unique<coherence::InvalEngine>(inval_cfg));
+        runWorkload(cfg, opts, simulator);
+        merged.name = engine.results().name;
+        merged.merge(engine.results());
+    }
+    return merged;
+}
+
+coherence::EngineResults
+berkeleyResults(const std::vector<gen::WorkloadConfig> &cfgs,
+                const EvalOptions &opts)
+{
+    coherence::EngineResults merged;
+    for (const gen::WorkloadConfig &cfg : cfgs) {
+        sim::Simulator simulator(opts.sim);
+        auto &engine = simulator.addEngine(
+            std::make_unique<coherence::BerkeleyEngine>(
+                unitsFor(cfg, opts)));
+        runWorkload(cfg, opts, simulator);
+        merged.name = engine.results().name;
+        merged.merge(engine.results());
+    }
+    return merged;
+}
+
+coherence::EngineResults
+invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
+                      const mem::CacheGeometry &geometry,
+                      const EvalOptions &opts)
+{
+    coherence::EngineResults merged;
+    for (const gen::WorkloadConfig &cfg : cfgs) {
+        sim::Simulator simulator(opts.sim);
+        coherence::InvalEngineConfig inval_cfg;
+        inval_cfg.nUnits = unitsFor(cfg, opts);
+        inval_cfg.cacheFactory = [&geometry]() {
+            return std::make_unique<mem::SetAssocTagStore>(geometry);
+        };
+        auto &engine = simulator.addEngine(
+            std::make_unique<coherence::InvalEngine>(inval_cfg));
+        runWorkload(cfg, opts, simulator);
+        merged.name = engine.results().name;
+        merged.merge(engine.results());
+    }
+    return merged;
+}
+
+} // namespace dirsim::analysis

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Evaluation runner: executes the paper's simulation campaign.
+ *
+ * One Evaluation holds, per trace and averaged, the results of the
+ * three state-change engines the paper's protocols reduce to:
+ *
+ *  - inval:  multiple-clean / single-dirty write-invalidate (costs
+ *            Dir0B, WTI, DirnNB, DiriB, Berkeley and Yen-Fu);
+ *  - dir1nb: the single-copy engine;
+ *  - dragon: the update engine.
+ *
+ * Helper runners cover the variants that need their own state
+ * dynamics: the DiriNB pointer sweep, directory-organisation shadows,
+ * lock-test filtering (Section 5.2), finite caches, and processor-
+ * rather than process-based sharing.
+ */
+
+#ifndef DIRSIM_ANALYSIS_EVALUATION_HH
+#define DIRSIM_ANALYSIS_EVALUATION_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/results.hh"
+#include "directory/entry.hh"
+#include "gen/workloads.hh"
+#include "mem/set_assoc.hh"
+#include "sim/simulator.hh"
+#include "trace/characterize.hh"
+
+namespace dirsim::analysis
+{
+
+/** Engine results for one trace. */
+struct TraceEvaluation
+{
+    std::string trace;
+    coherence::EngineResults inval;
+    coherence::EngineResults dir1nb;
+    coherence::EngineResults dragon;
+};
+
+/** Results for a set of traces plus their merge. */
+struct Evaluation
+{
+    std::vector<TraceEvaluation> traces;
+    /** All traces merged (the paper reports averages across traces). */
+    TraceEvaluation average;
+};
+
+/** Options for evaluation runs. */
+struct EvalOptions
+{
+    sim::SimConfig sim;
+    /** Drop spin-lock test reads first (the Section 5.2 experiment). */
+    bool dropLockTests = false;
+    /** Units for the engines; 0 = use each workload's process count. */
+    unsigned nUnits = 0;
+};
+
+/** Run the three standard engines over each workload. */
+Evaluation evaluateWorkloads(const std::vector<gen::WorkloadConfig> &cfgs,
+                             const EvalOptions &opts = EvalOptions{});
+
+/** The paper's campaign: pops, thor and pero. */
+Evaluation evaluateStandard(bool fullSize = false);
+
+/** Characterise each workload (Table 3). */
+std::vector<trace::TraceCharacteristics>
+characterizeWorkloads(const std::vector<gen::WorkloadConfig> &cfgs);
+
+/**
+ * Run the DiriNB engine for each pointer count in @p pointerCounts,
+ * merged across the workloads.
+ *
+ * @return One merged EngineResults per pointer count, in order.
+ */
+std::vector<coherence::EngineResults>
+limitedSweep(const std::vector<gen::WorkloadConfig> &cfgs,
+             const std::vector<unsigned> &pointerCounts,
+             const EvalOptions &opts = EvalOptions{});
+
+/**
+ * Run the invalidation engine shadowing a real directory organisation,
+ * merged across workloads; the result's dir* counters report what that
+ * organisation would have sent.
+ */
+coherence::EngineResults
+invalWithDirectory(const std::vector<gen::WorkloadConfig> &cfgs,
+                   const directory::DirEntryFactory &factory,
+                   const EvalOptions &opts = EvalOptions{});
+
+/**
+ * Run the real Berkeley Ownership engine, merged across workloads
+ * (the clean/dirty miss split differs from the invalidation model
+ * because ownership persists across read misses).
+ */
+coherence::EngineResults
+berkeleyResults(const std::vector<gen::WorkloadConfig> &cfgs,
+                const EvalOptions &opts = EvalOptions{});
+
+/**
+ * Run the invalidation engine with finite caches of the given
+ * geometry, merged across workloads.
+ */
+coherence::EngineResults
+invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
+                      const mem::CacheGeometry &geometry,
+                      const EvalOptions &opts = EvalOptions{});
+
+} // namespace dirsim::analysis
+
+#endif // DIRSIM_ANALYSIS_EVALUATION_HH

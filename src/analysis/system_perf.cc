@@ -1,0 +1,87 @@
+#include "analysis/system_perf.hh"
+
+namespace dirsim::analysis
+{
+
+namespace
+{
+
+/** Per-processor bus demand as a fraction of bus capacity. */
+double
+demandFraction(const SystemEstimate &est)
+{
+    const double refs_per_second = est.machine.processorMips * 1e6 *
+                                   est.machine.refsPerInstr;
+    const double bus_cycles_per_second =
+        refs_per_second * est.busCyclesPerRef;
+    return bus_cycles_per_second * est.machine.busCycleNs * 1e-9;
+}
+
+} // namespace
+
+double
+SystemEstimate::utilizationAt(unsigned processors) const
+{
+    return static_cast<double>(processors) * demandFraction(*this);
+}
+
+double
+SystemEstimate::effectiveProcessorsAt(unsigned processors) const
+{
+    // Single-bottleneck queueing bound with think time (the classic
+    // asymptotic interpolation): n processors each demanding fraction
+    // d of the bus achieve n / (1 + (n-1) d) processors' worth of
+    // work — n when d is negligible, 1/d as n grows.
+    const double d = demandFraction(*this);
+    const double n = static_cast<double>(processors);
+    if (d <= 0.0)
+        return n;
+    return n / (1.0 + (n - 1.0) * d);
+}
+
+SystemEstimate
+systemEstimate(const sim::CostBreakdown &cost,
+               const MachineParams &machine)
+{
+    SystemEstimate est;
+    est.scheme = cost.scheme;
+    est.busCyclesPerRef = cost.total();
+    est.machine = machine;
+    const double refs_per_second =
+        machine.processorMips * 1e6 * machine.refsPerInstr;
+    if (est.busCyclesPerRef > 0.0 && refs_per_second > 0.0) {
+        est.nsPerBusCycleDemand =
+            1e9 / (refs_per_second * est.busCyclesPerRef);
+        est.maxEffectiveProcessors =
+            est.nsPerBusCycleDemand / machine.busCycleNs;
+    }
+    return est;
+}
+
+stats::TextTable
+renderSystemLimits(const std::vector<SystemEstimate> &estimates,
+                   const std::vector<unsigned> &processorCounts)
+{
+    std::vector<std::string> headers = {"Scheme", "cyc/ref",
+                                        "ns/bus-cycle", "max CPUs"};
+    for (unsigned n : processorCounts)
+        headers.push_back("eff@" + std::to_string(n));
+    stats::TextTable table(
+        "Section 5 closing estimate: shared-bus system limits "
+        "(10 MIPS processors, 100ns bus)",
+        headers);
+    for (const SystemEstimate &est : estimates) {
+        std::vector<std::string> row = {
+            est.scheme, stats::TextTable::num(est.busCyclesPerRef),
+            stats::TextTable::num(est.nsPerBusCycleDemand, 0),
+            stats::TextTable::num(est.maxEffectiveProcessors, 1)};
+        for (unsigned n : processorCounts) {
+            row.push_back(stats::TextTable::num(
+                est.effectiveProcessorsAt(n), 1));
+        }
+        table.addRow(row);
+    }
+    return table;
+}
+
+} // namespace dirsim::analysis

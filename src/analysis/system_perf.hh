@@ -1,0 +1,84 @@
+/**
+ * @file
+ * System-level performance estimates from the bus-cycle metric.
+ *
+ * Section 5 of the paper closes with a back-of-envelope system limit:
+ * "The number of bus cycles consumed by a reference in the best
+ * scheme with a sophisticated bus is about 0.03 on average...  a
+ * processor will use a bus cycle every 30 references, or a bus cycle
+ * every 15 instructions since on average each instruction in the
+ * traces makes one data reference.  A 10-MIPS processor will
+ * therefore require a bus cycle every 1500ns, and a bus with a cycle
+ * time of 100ns will only yield a maximum performance of 15 effective
+ * processors."
+ *
+ * This module reproduces that estimate for any scheme and machine
+ * parameters, and extends it with a standard open-queueing
+ * (M/M/1-style) contention correction: as offered bus utilisation
+ * approaches one, queueing delay erodes per-processor throughput, so
+ * effective processors saturate smoothly instead of hitting a hard
+ * ceiling.
+ */
+
+#ifndef DIRSIM_ANALYSIS_SYSTEM_PERF_HH
+#define DIRSIM_ANALYSIS_SYSTEM_PERF_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hh"
+#include "stats/table.hh"
+
+namespace dirsim::analysis
+{
+
+/** Machine parameters for the system-limit estimate. */
+struct MachineParams
+{
+    double processorMips = 10.0; //!< Instruction rate, millions/s.
+    /**
+     * Memory references per instruction.  The traces average one
+     * *data* reference per instruction, and the instruction fetch
+     * itself is a reference, so the per-reference cost metric is
+     * demanded twice per instruction (this is what turns the paper's
+     * 0.03 cycles/ref into "a bus cycle every 15 instructions").
+     */
+    double refsPerInstr = 2.0;
+    double busCycleNs = 100.0;   //!< Bus cycle time.
+};
+
+/** System-level estimate for one protocol. */
+struct SystemEstimate
+{
+    std::string scheme;
+    double busCyclesPerRef = 0.0;
+    /** Seconds-scale: ns between bus cycles demanded per processor. */
+    double nsPerBusCycleDemand = 0.0;
+    /** The paper's hard ceiling: bus bandwidth / per-CPU demand. */
+    double maxEffectiveProcessors = 0.0;
+    /** Offered bus utilisation with this many physical processors. */
+    double utilizationAt(unsigned processors) const;
+    /**
+     * Effective processors with queueing: throughput of n processors
+     * sharing the bus where each stalls on queued bus service.
+     */
+    double effectiveProcessorsAt(unsigned processors) const;
+
+    MachineParams machine;
+};
+
+/** Build the estimate for one costed scheme. */
+SystemEstimate systemEstimate(const sim::CostBreakdown &cost,
+                              const MachineParams &machine);
+
+/**
+ * Render the Section 5 closing estimate for a set of scheme costs,
+ * with an effective-processor column per entry in @p processorCounts.
+ */
+stats::TextTable
+renderSystemLimits(const std::vector<SystemEstimate> &estimates,
+                   const std::vector<unsigned> &processorCounts);
+
+} // namespace dirsim::analysis
+
+#endif // DIRSIM_ANALYSIS_SYSTEM_PERF_HH

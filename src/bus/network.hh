@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Interconnection-network cost model.
+ *
+ * The paper's central argument is architectural: snoopy protocols
+ * need low-latency broadcast, which only a bus provides, while
+ * directory protocols send *directed* messages "over any arbitrary
+ * interconnection network" (Section 2).  The bus models of Table 2
+ * cannot express that asymmetry — on a bus a broadcast costs one
+ * cycle.  This model prices operations on a point-to-point network of
+ * n nodes with logarithmic diameter (hypercube/butterfly-like):
+ *
+ *  - a directed message costs its hop count (we charge the average
+ *    diameter, ceil(log2 n) hops);
+ *  - a block transfer adds one cycle per data word after the header
+ *    (wormhole-style pipelining);
+ *  - a broadcast without hardware support must be sent as n-1
+ *    directed messages.
+ *
+ * The "bus cycles per reference" metric generalises to network cycles
+ * of channel occupancy per reference.  networkBroadcastCost() feeds
+ * CostOptions::broadcastCost so the DiriB schemes pay the true price
+ * of their broadcast fallback, which is exactly the experiment the
+ * paper's Section 6 taxonomy anticipates.
+ */
+
+#ifndef DIRSIM_BUS_NETWORK_HH
+#define DIRSIM_BUS_NETWORK_HH
+
+#include "bus/bus_model.hh"
+
+namespace dirsim::bus
+{
+
+/** Parameters of the point-to-point network. */
+struct NetworkParams
+{
+    unsigned nNodes = 16;      //!< Caches + distributed memory nodes.
+    unsigned cyclesPerHop = 1; //!< Channel cycles per traversed link.
+    unsigned wordsPerBlock = 4;
+    /**
+     * True if the network has a hardware broadcast/multicast tree
+     * (cost: one tree traversal); false (default) means a broadcast
+     * is emulated by n-1 directed messages.
+     */
+    bool hardwareBroadcast = false;
+};
+
+/** Average message distance in hops: ceil(log2 n), at least 1. */
+unsigned networkHops(const NetworkParams &params);
+
+/**
+ * Per-operation cost table on the network, in channel cycles.
+ * Directed invalidations cost one message; see
+ * networkBroadcastCost() for the broadcast fallback price.
+ */
+BusCosts networkCosts(const NetworkParams &params);
+
+/** Cycles consumed by one invalidation broadcast on this network. */
+double networkBroadcastCost(const NetworkParams &params);
+
+} // namespace dirsim::bus
+
+#endif // DIRSIM_BUS_NETWORK_HH

@@ -1,0 +1,100 @@
+#include "coherence/dragon_engine.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dirsim::coherence
+{
+
+DragonEngine::DragonEngine(unsigned nUnits) : _nUnits(nUnits)
+{
+    if (nUnits == 0 || nUnits > 64)
+        throw std::invalid_argument(
+            "DragonEngine: unit count must be in [1, 64]");
+    _results.name = "dragon";
+}
+
+void
+DragonEngine::reset()
+{
+    _results = EngineResults{};
+    _results.name = "dragon";
+    _blocks.clear();
+}
+
+void
+DragonEngine::access(unsigned unit, trace::RefType type,
+                     mem::BlockId block)
+{
+    assert(unit < _nUnits);
+    if (type == trace::RefType::Instr) {
+        _results.events.record(Event::Instr);
+        return;
+    }
+    BlockState &st = _blocks[block];
+    if (type == trace::RefType::Read)
+        handleRead(unit, st);
+    else
+        handleWrite(unit, st);
+}
+
+void
+DragonEngine::handleRead(unsigned unit, BlockState &st)
+{
+    const std::uint64_t unit_bit = 1ULL << unit;
+    if (st.holders & unit_bit) {
+        _results.events.record(Event::RdHit);
+        return;
+    }
+    if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::RmFirstRef);
+    } else if (st.owner >= 0) {
+        // Supplied cache-to-cache by the owner; memory stays stale.
+        _results.events.record(Event::RmBlkDrty);
+    } else if (st.holders != 0) {
+        _results.events.record(Event::RmBlkCln);
+    } else {
+        _results.events.record(Event::RmMemory);
+    }
+    st.holders |= unit_bit;
+}
+
+void
+DragonEngine::handleWrite(unsigned unit, BlockState &st)
+{
+    const std::uint64_t unit_bit = 1ULL << unit;
+    if (st.holders & unit_bit) {
+        if (st.holders == unit_bit) {
+            _results.events.record(Event::WhLocal);
+        } else {
+            // The shared line is pulled: distribute the update.  The
+            // fanout histogram records how many remote copies the
+            // update must reach (used by the network cost model; on a
+            // bus one broadcast reaches them all).
+            _results.events.record(Event::WhDistrib);
+            _results.whClnFanout.sample(static_cast<std::size_t>(
+                __builtin_popcountll(st.holders & ~unit_bit)));
+        }
+        st.owner = static_cast<std::int16_t>(unit);
+        return;
+    }
+    if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::WmFirstRef);
+    } else if (st.owner >= 0) {
+        _results.events.record(Event::WmBlkDrty);
+        _results.wmClnFanout.sample(static_cast<std::size_t>(
+            __builtin_popcountll(st.holders)));
+    } else if (st.holders != 0) {
+        _results.events.record(Event::WmBlkCln);
+        _results.wmClnFanout.sample(static_cast<std::size_t>(
+            __builtin_popcountll(st.holders)));
+    } else {
+        _results.events.record(Event::WmMemory);
+    }
+    st.holders |= unit_bit;
+    st.owner = static_cast<std::int16_t>(unit);
+}
+
+} // namespace dirsim::coherence

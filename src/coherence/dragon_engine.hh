@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dragon (write-update) state engine.
+ *
+ * The update protocol of Section 3: stale copies are refreshed, never
+ * invalidated, so with infinite caches a block stays in every cache
+ * that ever loaded it.  The interesting events are write hits that
+ * must be distributed over the bus (wh-distrib) versus purely local
+ * write hits (wh-local), discriminated in hardware by the "shared"
+ * bus line.  A dirty block is supplied by its owning cache on a miss
+ * (rm-blk-drty / wm-blk-drty); ownership moves to the last writer.
+ */
+
+#ifndef DIRSIM_COHERENCE_DRAGON_ENGINE_HH
+#define DIRSIM_COHERENCE_DRAGON_ENGINE_HH
+
+#include <unordered_map>
+
+#include "coherence/engine.hh"
+
+namespace dirsim::coherence
+{
+
+/** The Dragon update-protocol engine. */
+class DragonEngine : public CoherenceEngine
+{
+  public:
+    explicit DragonEngine(unsigned nUnits);
+
+    void access(unsigned unit, trace::RefType type,
+                mem::BlockId block) override;
+    const EngineResults &results() const override { return _results; }
+    unsigned numUnits() const override { return _nUnits; }
+    void reset() override;
+
+  private:
+    struct BlockState
+    {
+        std::uint64_t holders = 0;
+        /** Owning cache (memory is stale), -1 when memory is current. */
+        std::int16_t owner = -1;
+        bool referenced = false;
+    };
+
+    void handleRead(unsigned unit, BlockState &st);
+    void handleWrite(unsigned unit, BlockState &st);
+
+    unsigned _nUnits;
+    EngineResults _results;
+    std::unordered_map<mem::BlockId, BlockState> _blocks;
+};
+
+} // namespace dirsim::coherence
+
+#endif // DIRSIM_COHERENCE_DRAGON_ENGINE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Coherence engine interface.
+ *
+ * An engine implements one *state-change specification* (the paper's
+ * term): how the set of cached copies evolves as references stream by.
+ * It classifies every reference into an Event and maintains the
+ * statistics of EngineResults.  Costing is entirely separate (see
+ * sim/cost_model.hh): several protocols that share a state model —
+ * Dir0B, WTI, Berkeley, Yen-Fu, DirnNB, DiriB — are costed from a
+ * single engine run, exactly as the paper does.
+ */
+
+#ifndef DIRSIM_COHERENCE_ENGINE_HH
+#define DIRSIM_COHERENCE_ENGINE_HH
+
+#include "coherence/results.hh"
+#include "mem/block.hh"
+#include "trace/record.hh"
+
+namespace dirsim::coherence
+{
+
+/** Abstract trace-driven coherence state engine. */
+class CoherenceEngine
+{
+  public:
+    virtual ~CoherenceEngine() = default;
+
+    /**
+     * Process one reference.
+     *
+     * @param unit Sharing-domain index (process or processor) in
+     *             [0, nUnits).
+     * @param type Reference type; instruction fetches are counted but
+     *             cause no coherence action (Section 4 of the paper).
+     * @param block Coherence block identifier.
+     */
+    virtual void access(unsigned unit, trace::RefType type,
+                        mem::BlockId block) = 0;
+
+    /** Accumulated statistics. */
+    virtual const EngineResults &results() const = 0;
+
+    /** Number of caches in the sharing domain. */
+    virtual unsigned numUnits() const = 0;
+
+    /** Drop all state and statistics. */
+    virtual void reset() = 0;
+};
+
+} // namespace dirsim::coherence
+
+#endif // DIRSIM_COHERENCE_ENGINE_HH

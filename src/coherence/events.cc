@@ -1,0 +1,88 @@
+#include "coherence/events.hh"
+
+namespace dirsim::coherence
+{
+
+const std::string &
+eventName(Event event)
+{
+    static const std::array<std::string, numEvents> names = {
+        "instr",
+        "rd-hit",
+        "rm-blk-cln",
+        "rm-blk-drty",
+        "rm-memory",
+        "rm-first-ref",
+        "wh-blk-drty",
+        "wh-blk-cln-excl",
+        "wh-blk-cln-shared",
+        "wh-distrib",
+        "wh-local",
+        "wm-blk-cln",
+        "wm-blk-drty",
+        "wm-memory",
+        "wm-first-ref",
+    };
+    return names[static_cast<std::size_t>(event)];
+}
+
+void
+EventCounts::merge(const EventCounts &other)
+{
+    for (std::size_t e = 0; e < numEvents; ++e)
+        _counts[e] += other._counts[e];
+    _totalRefs += other._totalRefs;
+}
+
+double
+EventCounts::frac(Event event) const
+{
+    if (_totalRefs == 0)
+        return 0.0;
+    return static_cast<double>(count(event)) /
+           static_cast<double>(_totalRefs);
+}
+
+std::uint64_t
+EventCounts::reads() const
+{
+    return count(Event::RdHit) + count(Event::RmBlkCln) +
+           count(Event::RmBlkDrty) + count(Event::RmMemory) +
+           count(Event::RmFirstRef);
+}
+
+std::uint64_t
+EventCounts::writes() const
+{
+    return writeHits() + writeMisses() + count(Event::WmFirstRef);
+}
+
+std::uint64_t
+EventCounts::readMisses() const
+{
+    return count(Event::RmBlkCln) + count(Event::RmBlkDrty) +
+           count(Event::RmMemory);
+}
+
+std::uint64_t
+EventCounts::writeMisses() const
+{
+    return count(Event::WmBlkCln) + count(Event::WmBlkDrty) +
+           count(Event::WmMemory);
+}
+
+std::uint64_t
+EventCounts::writeHits() const
+{
+    return count(Event::WhBlkDrty) + count(Event::WhBlkClnExcl) +
+           count(Event::WhBlkClnShared) + count(Event::WhDistrib) +
+           count(Event::WhLocal);
+}
+
+std::uint64_t
+EventCounts::writeHitsClean() const
+{
+    return count(Event::WhBlkClnExcl) + count(Event::WhBlkClnShared);
+}
+
+} // namespace dirsim::coherence

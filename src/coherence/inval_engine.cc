@@ -1,0 +1,250 @@
+#include "coherence/inval_engine.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dirsim::coherence
+{
+
+namespace
+{
+
+unsigned
+popcount(std::uint64_t mask)
+{
+    return static_cast<unsigned>(__builtin_popcountll(mask));
+}
+
+} // namespace
+
+InvalEngine::InvalEngine(const InvalEngineConfig &cfg) : _cfg(cfg)
+{
+    if (cfg.nUnits == 0 || cfg.nUnits > directory::maxUnits)
+        throw std::invalid_argument(
+            "InvalEngine: unit count must be in [1, 64]");
+    _results.name = "inval";
+    if (_cfg.cacheFactory) {
+        for (unsigned u = 0; u < _cfg.nUnits; ++u)
+            _caches.push_back(_cfg.cacheFactory());
+    }
+}
+
+void
+InvalEngine::reset()
+{
+    _results = EngineResults{};
+    _results.name = "inval";
+    _blocks.clear();
+    for (auto &cache : _caches)
+        cache->clear();
+}
+
+InvalEngine::BlockState &
+InvalEngine::lookup(mem::BlockId block)
+{
+    auto [it, inserted] = _blocks.try_emplace(block);
+    if (inserted && _cfg.dirFactory)
+        it->second.dir = _cfg.dirFactory->make(_cfg.nUnits);
+    return it->second;
+}
+
+void
+InvalEngine::recordHomeUse(unsigned unit, BlockState &st,
+                           mem::BlockId block)
+{
+    if (_cfg.homePolicy == HomePolicy::None)
+        return;
+    if (st.home < 0) {
+        st.home = _cfg.homePolicy == HomePolicy::Modulo
+                      ? static_cast<std::int16_t>(block % _cfg.nUnits)
+                      : static_cast<std::int16_t>(unit);
+    }
+    if (st.home == static_cast<int>(unit))
+        ++_results.homeLocalTransactions;
+    else
+        ++_results.homeRemoteTransactions;
+}
+
+std::uint64_t
+InvalEngine::holders(mem::BlockId block) const
+{
+    auto it = _blocks.find(block);
+    return it == _blocks.end() ? 0 : it->second.holders;
+}
+
+int
+InvalEngine::dirtyOwner(mem::BlockId block) const
+{
+    auto it = _blocks.find(block);
+    return it == _blocks.end() ? -1 : it->second.owner;
+}
+
+void
+InvalEngine::fillCache(unsigned unit, mem::BlockId block)
+{
+    if (_caches.empty())
+        return;
+    const mem::TouchResult touch = _caches[unit]->touch(block);
+    if (!touch.evicted)
+        return;
+    ++_results.replacementEvictions;
+    BlockState &victim = lookup(touch.evictedBlock);
+    victim.holders &= ~(1ULL << unit);
+    if (victim.owner == static_cast<int>(unit)) {
+        victim.owner = -1;
+        ++_results.replacementWriteBacks;
+    }
+    if (victim.dir)
+        victim.dir->removeSharer(unit);
+}
+
+void
+InvalEngine::invalidateMask(mem::BlockId block, BlockState &st,
+                            std::uint64_t mask)
+{
+    st.holders &= ~mask;
+    if (!_caches.empty()) {
+        for (unsigned u = 0; u < _cfg.nUnits; ++u) {
+            if (mask & (1ULL << u))
+                _caches[u]->invalidate(block);
+        }
+    }
+}
+
+void
+InvalEngine::access(unsigned unit, trace::RefType type,
+                    mem::BlockId block)
+{
+    assert(unit < _cfg.nUnits);
+    if (type == trace::RefType::Instr) {
+        _results.events.record(Event::Instr);
+        return;
+    }
+    BlockState &st = lookup(block);
+    if (type == trace::RefType::Read)
+        handleRead(unit, block, st);
+    else
+        handleWrite(unit, block, st);
+}
+
+void
+InvalEngine::handleRead(unsigned unit, mem::BlockId block,
+                        BlockState &st)
+{
+    const std::uint64_t unit_bit = 1ULL << unit;
+
+    if (st.holders & unit_bit) {
+        _results.events.record(Event::RdHit);
+        if (!_caches.empty())
+            _caches[unit]->touch(block); // Refresh LRU.
+        return;
+    }
+
+    // Every miss involves the block's home node (memory + directory).
+    recordHomeUse(unit, st, block);
+
+    if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::RmFirstRef);
+    } else if (st.owner >= 0) {
+        // Flush: the ex-owner writes back and keeps a clean copy; the
+        // requester snarfs the data.
+        _results.events.record(Event::RmBlkDrty);
+        st.owner = -1;
+        if (st.dir)
+            st.dir->cleanse();
+    } else if (st.holders != 0) {
+        _results.events.record(Event::RmBlkCln);
+    } else {
+        _results.events.record(Event::RmMemory);
+    }
+
+    if (popcount(st.holders) == 1)
+        ++_results.holderGrowth12;
+    st.holders |= unit_bit;
+    if (st.dir)
+        st.dir->addSharer(unit);
+    fillCache(unit, block);
+}
+
+void
+InvalEngine::recordDirActivity(unsigned unit, bool unitHasCopy,
+                               const BlockState &st)
+{
+    if (!st.dir)
+        return;
+    const directory::InvalTargets targets =
+        st.dir->invalTargets(unit, unitHasCopy);
+    if (targets.broadcast) {
+        ++_results.dirBroadcasts;
+        return;
+    }
+    const std::uint64_t others = st.holders & ~(1ULL << unit);
+    _results.dirDirectedInvals += targets.count();
+    _results.dirOvershoot += popcount(targets.mask & ~others);
+    // A directory must reach every real copy: directed targets may
+    // overshoot but never miss a holder.
+    assert((others & ~targets.mask) == 0);
+}
+
+void
+InvalEngine::handleWrite(unsigned unit, mem::BlockId block,
+                         BlockState &st)
+{
+    const std::uint64_t unit_bit = 1ULL << unit;
+    const bool has_copy = (st.holders & unit_bit) != 0;
+
+    if (has_copy && st.owner == static_cast<int>(unit)) {
+        _results.events.record(Event::WhBlkDrty);
+        if (!_caches.empty())
+            _caches[unit]->touch(block);
+        return;
+    }
+
+    if (has_copy) {
+        // Write hit to a clean copy.  A dirty copy elsewhere is
+        // impossible: dirty implies sole holder.
+        assert(st.owner < 0);
+        recordHomeUse(unit, st, block);
+        const std::uint64_t others = st.holders & ~unit_bit;
+        const unsigned fanout = popcount(others);
+        _results.events.record(fanout == 0 ? Event::WhBlkClnExcl
+                                           : Event::WhBlkClnShared);
+        _results.whClnFanout.sample(fanout);
+        recordDirActivity(unit, true, st);
+        invalidateMask(block, st, others);
+        if (!_caches.empty())
+            _caches[unit]->touch(block);
+    } else if (!st.referenced) {
+        st.referenced = true;
+        recordHomeUse(unit, st, block);
+        _results.events.record(Event::WmFirstRef);
+        fillCache(unit, block);
+    } else if (st.owner >= 0) {
+        // Flush the dirty copy and invalidate it; the requester
+        // receives the data.
+        recordHomeUse(unit, st, block);
+        _results.events.record(Event::WmBlkDrty);
+        recordDirActivity(unit, false, st);
+        invalidateMask(block, st, st.holders);
+        fillCache(unit, block);
+    } else if (st.holders != 0) {
+        recordHomeUse(unit, st, block);
+        _results.events.record(Event::WmBlkCln);
+        _results.wmClnFanout.sample(popcount(st.holders));
+        recordDirActivity(unit, false, st);
+        invalidateMask(block, st, st.holders);
+        fillCache(unit, block);
+    } else {
+        recordHomeUse(unit, st, block);
+        _results.events.record(Event::WmMemory);
+        fillCache(unit, block);
+    }
+
+    st.holders = unit_bit;
+    st.owner = static_cast<std::int16_t>(unit);
+    if (st.dir)
+        st.dir->makeOwner(unit);
+}
+
+} // namespace dirsim::coherence

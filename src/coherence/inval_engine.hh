@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Write-invalidate state engine with unbounded copies.
+ *
+ * Implements the state-change model shared by Dir0B, WTI, DirnNB,
+ * DiriB, the Berkeley-Ownership estimate and the Yen-Fu refinement:
+ * a clean block may reside in any number of caches, a dirty block in
+ * exactly one; a write invalidates all other copies; a read miss to a
+ * dirty block flushes it to memory and the ex-owner keeps a clean
+ * copy.
+ *
+ * Optionally carries a real directory organisation (DirEntry) per
+ * block, recording what that organisation would have done —
+ * directed invalidations, broadcasts, and overshoot — and optionally
+ * a finite TagStore per cache for the finite-cache extension.
+ */
+
+#ifndef DIRSIM_COHERENCE_INVAL_ENGINE_HH
+#define DIRSIM_COHERENCE_INVAL_ENGINE_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/engine.hh"
+#include "directory/entry.hh"
+#include "mem/tag_store.hh"
+
+namespace dirsim::coherence
+{
+
+/** How memory blocks are assigned home nodes (Section 2/7: memory
+ *  and directory distributed with the processors). */
+enum class HomePolicy
+{
+    None,      //!< Centralised memory; no locality tracking.
+    Modulo,    //!< Home = block id mod unit count (interleaved).
+    FirstTouch,//!< Home = first unit to reference the block (NUMA).
+};
+
+/** Configuration for InvalEngine. */
+struct InvalEngineConfig
+{
+    unsigned nUnits = 4;
+    /** Distributed-directory home assignment to track. */
+    HomePolicy homePolicy = HomePolicy::None;
+    /** Optional directory organisation to shadow (may be null). */
+    const directory::DirEntryFactory *dirFactory = nullptr;
+    /**
+     * Optional finite-cache factory: invoked once per unit.  Null
+     * means infinite caches (the paper's model).
+     */
+    std::function<std::unique_ptr<mem::TagStore>()> cacheFactory;
+};
+
+/** The multiple-clean / single-dirty invalidation engine. */
+class InvalEngine : public CoherenceEngine
+{
+  public:
+    explicit InvalEngine(const InvalEngineConfig &cfg);
+
+    void access(unsigned unit, trace::RefType type,
+                mem::BlockId block) override;
+    const EngineResults &results() const override { return _results; }
+    unsigned numUnits() const override { return _cfg.nUnits; }
+    void reset() override;
+
+    /** Exact holder mask of @p block (tests / diagnostics). */
+    std::uint64_t holders(mem::BlockId block) const;
+    /** Dirty-owner unit of @p block, or -1. */
+    int dirtyOwner(mem::BlockId block) const;
+
+  private:
+    struct BlockState
+    {
+        std::uint64_t holders = 0;
+        std::int16_t owner = -1; //!< Dirty owner, -1 when clean.
+        std::int16_t home = -1;  //!< Home node (when tracked).
+        bool referenced = false;
+        std::unique_ptr<directory::DirEntry> dir;
+    };
+
+    BlockState &lookup(mem::BlockId block);
+    void handleRead(unsigned unit, mem::BlockId block, BlockState &st);
+    void handleWrite(unsigned unit, mem::BlockId block, BlockState &st);
+    /** Classify a directory/memory transaction by home locality. */
+    void recordHomeUse(unsigned unit, BlockState &st,
+                       mem::BlockId block);
+    /** Record what the shadowed directory would send for this write. */
+    void recordDirActivity(unsigned unit, bool unitHasCopy,
+                           const BlockState &st);
+    /** Install @p block in @p unit's finite cache, evicting as needed. */
+    void fillCache(unsigned unit, mem::BlockId block);
+    /** Remove copies in @p mask (tag stores + holder bits). */
+    void invalidateMask(mem::BlockId block, BlockState &st,
+                        std::uint64_t mask);
+
+    InvalEngineConfig _cfg;
+    EngineResults _results;
+    std::unordered_map<mem::BlockId, BlockState> _blocks;
+    std::vector<std::unique_ptr<mem::TagStore>> _caches;
+};
+
+} // namespace dirsim::coherence
+
+#endif // DIRSIM_COHERENCE_INVAL_ENGINE_HH

@@ -1,0 +1,127 @@
+#include "coherence/limited_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dirsim::coherence
+{
+
+LimitedEngine::LimitedEngine(unsigned nUnits, unsigned nPointers)
+    : _nUnits(nUnits), _nPointers(nPointers)
+{
+    if (nUnits == 0 || nUnits > 64)
+        throw std::invalid_argument(
+            "LimitedEngine: unit count must be in [1, 64]");
+    if (nPointers == 0)
+        throw std::invalid_argument(
+            "LimitedEngine: Dir0NB makes no sense (no way to obtain "
+            "exclusive access)");
+    _nPointers = std::min(nPointers, nUnits);
+    _results.name = "dir" + std::to_string(_nPointers) + "nb";
+}
+
+void
+LimitedEngine::reset()
+{
+    const std::string name = _results.name;
+    _results = EngineResults{};
+    _results.name = name;
+    _blocks.clear();
+}
+
+bool
+LimitedEngine::holds(const BlockState &st, unsigned unit) const
+{
+    return std::find(st.holders.begin(), st.holders.end(),
+                     static_cast<std::uint8_t>(unit)) !=
+           st.holders.end();
+}
+
+void
+LimitedEngine::access(unsigned unit, trace::RefType type,
+                      mem::BlockId block)
+{
+    assert(unit < _nUnits);
+    if (type == trace::RefType::Instr) {
+        _results.events.record(Event::Instr);
+        return;
+    }
+    BlockState &st = _blocks[block];
+    if (type == trace::RefType::Read)
+        handleRead(unit, st);
+    else
+        handleWrite(unit, st);
+}
+
+void
+LimitedEngine::handleRead(unsigned unit, BlockState &st)
+{
+    if (holds(st, unit)) {
+        _results.events.record(Event::RdHit);
+        return;
+    }
+
+    if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::RmFirstRef);
+    } else if (st.owner >= 0) {
+        // Write back; with a single pointer the ex-owner is also
+        // invalidated, otherwise it keeps a clean copy.
+        _results.events.record(Event::RmBlkDrty);
+        st.owner = -1;
+        if (_nPointers == 1) {
+            st.holders.clear();
+            // The forced removal of the ex-owner's copy is part of
+            // the miss service, not an extra displacement.
+        }
+    } else if (!st.holders.empty()) {
+        _results.events.record(Event::RmBlkCln);
+    } else {
+        _results.events.record(Event::RmMemory);
+    }
+
+    if (st.holders.size() == 1)
+        ++_results.holderGrowth12;
+    st.holders.push_back(static_cast<std::uint8_t>(unit));
+    if (st.holders.size() > _nPointers) {
+        // Displace the oldest holder to free a pointer.
+        st.holders.erase(st.holders.begin());
+        ++_results.displacementInvals;
+    }
+}
+
+void
+LimitedEngine::handleWrite(unsigned unit, BlockState &st)
+{
+    if (holds(st, unit) && st.owner == static_cast<int>(unit)) {
+        _results.events.record(Event::WhBlkDrty);
+        return;
+    }
+
+    if (holds(st, unit)) {
+        assert(st.owner < 0);
+        const unsigned fanout =
+            static_cast<unsigned>(st.holders.size()) - 1;
+        _results.events.record(fanout == 0 ? Event::WhBlkClnExcl
+                                           : Event::WhBlkClnShared);
+        _results.whClnFanout.sample(fanout);
+    } else if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::WmFirstRef);
+    } else if (st.owner >= 0) {
+        _results.events.record(Event::WmBlkDrty);
+    } else if (!st.holders.empty()) {
+        _results.events.record(Event::WmBlkCln);
+        _results.wmClnFanout.sample(
+            static_cast<unsigned>(st.holders.size()));
+    } else {
+        _results.events.record(Event::WmMemory);
+    }
+
+    st.holders.clear();
+    st.holders.push_back(static_cast<std::uint8_t>(unit));
+    st.owner = static_cast<std::int16_t>(unit);
+}
+
+} // namespace dirsim::coherence

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Limited-copy (no-broadcast) state engine: DiriNB.
+ *
+ * At most i caches may hold a block simultaneously; the directory
+ * keeps i pointers and never broadcasts.  When an (i+1)-th cache read
+ * misses, the directory invalidates one existing copy (oldest first)
+ * to free a pointer — a "displacement invalidation".  Dir1NB, the
+ * most restrictive scheme the paper evaluates, is the i = 1 instance:
+ * every miss moves the sole copy between caches, which is what makes
+ * spin locks bounce (Section 5.2).
+ *
+ * On a read miss to a dirty block the ex-owner's copy is written back;
+ * with i = 1 the ex-owner must also be invalidated, with i >= 2 it
+ * keeps a clean copy.
+ */
+
+#ifndef DIRSIM_COHERENCE_LIMITED_ENGINE_HH
+#define DIRSIM_COHERENCE_LIMITED_ENGINE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/engine.hh"
+
+namespace dirsim::coherence
+{
+
+/** The DiriNB engine; i = 1 gives Dir1NB. */
+class LimitedEngine : public CoherenceEngine
+{
+  public:
+    /**
+     * @param nUnits Number of caches.
+     * @param nPointers The i of DiriNB; 1 <= i <= nUnits.
+     */
+    LimitedEngine(unsigned nUnits, unsigned nPointers);
+
+    void access(unsigned unit, trace::RefType type,
+                mem::BlockId block) override;
+    const EngineResults &results() const override { return _results; }
+    unsigned numUnits() const override { return _nUnits; }
+    void reset() override;
+
+    unsigned numPointers() const { return _nPointers; }
+
+  private:
+    struct BlockState
+    {
+        /** Holders in fill order (oldest first); size <= i. */
+        std::vector<std::uint8_t> holders;
+        std::int16_t owner = -1;
+        bool referenced = false;
+    };
+
+    bool holds(const BlockState &st, unsigned unit) const;
+    void handleRead(unsigned unit, BlockState &st);
+    void handleWrite(unsigned unit, BlockState &st);
+
+    unsigned _nUnits;
+    unsigned _nPointers;
+    EngineResults _results;
+    std::unordered_map<mem::BlockId, BlockState> _blocks;
+};
+
+} // namespace dirsim::coherence
+
+#endif // DIRSIM_COHERENCE_LIMITED_ENGINE_HH

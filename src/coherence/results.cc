@@ -1,0 +1,23 @@
+#include "coherence/results.hh"
+
+namespace dirsim::coherence
+{
+
+void
+EngineResults::merge(const EngineResults &other)
+{
+    events.merge(other.events);
+    whClnFanout.merge(other.whClnFanout);
+    wmClnFanout.merge(other.wmClnFanout);
+    holderGrowth12 += other.holderGrowth12;
+    displacementInvals += other.displacementInvals;
+    dirDirectedInvals += other.dirDirectedInvals;
+    dirBroadcasts += other.dirBroadcasts;
+    dirOvershoot += other.dirOvershoot;
+    homeLocalTransactions += other.homeLocalTransactions;
+    homeRemoteTransactions += other.homeRemoteTransactions;
+    replacementEvictions += other.replacementEvictions;
+    replacementWriteBacks += other.replacementWriteBacks;
+}
+
+} // namespace dirsim::coherence

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-engine simulation results.
+ *
+ * Everything the paper's cost models need from one trace run: the
+ * event frequencies of Table 4, the invalidation-fanout histograms of
+ * Figure 1 (split by event class so Section 6's sequential-invalidate
+ * and limited-pointer analytics are exact), and a handful of auxiliary
+ * counters for protocol variants and extensions.
+ */
+
+#ifndef DIRSIM_COHERENCE_RESULTS_HH
+#define DIRSIM_COHERENCE_RESULTS_HH
+
+#include <string>
+
+#include "coherence/events.hh"
+#include "stats/histogram.hh"
+
+namespace dirsim::coherence
+{
+
+/** Results of running one coherence engine over a trace. */
+struct EngineResults
+{
+    std::string name; //!< Engine/state-model label.
+
+    EventCounts events;
+
+    /**
+     * @name Invalidation fanout histograms.
+     *
+     * Sample value = number of *other* caches holding the block at the
+     * event.  whClnFanout and wmClnFanout together are the
+     * "writes to previously-clean blocks" of Figure 1.
+     * @{
+     */
+    stats::Histogram whClnFanout; //!< At write hits to clean blocks.
+    stats::Histogram wmClnFanout; //!< At write misses, block clean.
+    /** @} */
+
+    /**
+     * Holder-count transitions from one to two caches; this is the
+     * traffic the Yen-Fu single-bit refinement spends keeping single
+     * bits current.
+     */
+    std::uint64_t holderGrowth12 = 0;
+
+    /**
+     * Invalidations issued to make room in a limited-pointer
+     * (no-broadcast) directory on a read fill.
+     */
+    std::uint64_t displacementInvals = 0;
+
+    /** @name Directory-representation message accounting.
+     *
+     * Filled when the engine carries a DirEntry organisation: what a
+     * real directory of that organisation would have sent.
+     * @{ */
+    std::uint64_t dirDirectedInvals = 0; //!< Directed messages sent.
+    std::uint64_t dirBroadcasts = 0;     //!< Broadcast fallbacks.
+    /** Directed messages to caches that held no copy (coarse-vector
+     *  overshoot). */
+    std::uint64_t dirOvershoot = 0;
+    /** @} */
+
+    /** @name Distributed-directory locality counters.
+     *
+     * When home tracking is enabled, every bus transaction (miss or
+     * clean-write-hit directory access) is classified by whether the
+     * block's home node is the requesting unit.  The paper argues
+     * distributing memory and directory with the processors scales
+     * their bandwidth; the local fraction is what that buys.
+     * @{ */
+    std::uint64_t homeLocalTransactions = 0;
+    std::uint64_t homeRemoteTransactions = 0;
+    /** @} */
+
+    /** @name Finite-cache extension counters.
+     *  @{ */
+    std::uint64_t replacementEvictions = 0;
+    std::uint64_t replacementWriteBacks = 0;
+    /** @} */
+
+    /** Merge another run (e.g.\ averaging across traces). */
+    void merge(const EngineResults &other);
+};
+
+} // namespace dirsim::coherence
+
+#endif // DIRSIM_COHERENCE_RESULTS_HH

@@ -1,0 +1,107 @@
+#include "coherence/wti_engine.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dirsim::coherence
+{
+
+namespace
+{
+
+unsigned
+popcount(std::uint64_t mask)
+{
+    return static_cast<unsigned>(__builtin_popcountll(mask));
+}
+
+} // namespace
+
+WtiEngine::WtiEngine(unsigned nUnits, bool allocateOnWriteMiss)
+    : _nUnits(nUnits), _allocate(allocateOnWriteMiss)
+{
+    if (nUnits == 0 || nUnits > 64)
+        throw std::invalid_argument(
+            "WtiEngine: unit count must be in [1, 64]");
+    _results.name = "wti";
+}
+
+void
+WtiEngine::reset()
+{
+    _results = EngineResults{};
+    _results.name = "wti";
+    _blocks.clear();
+}
+
+void
+WtiEngine::access(unsigned unit, trace::RefType type,
+                  mem::BlockId block)
+{
+    assert(unit < _nUnits);
+    if (type == trace::RefType::Instr) {
+        _results.events.record(Event::Instr);
+        return;
+    }
+    BlockState &st = _blocks[block];
+    if (type == trace::RefType::Read)
+        handleRead(unit, st);
+    else
+        handleWrite(unit, st);
+}
+
+void
+WtiEngine::handleRead(unsigned unit, BlockState &st)
+{
+    const std::uint64_t unit_bit = 1ULL << unit;
+    if (st.holders & unit_bit) {
+        _results.events.record(Event::RdHit);
+        return;
+    }
+    if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::RmFirstRef);
+    } else if (st.holders != 0) {
+        // Copies are never dirty under write-through, so any cached
+        // copy is clean and memory is current.
+        _results.events.record(Event::RmBlkCln);
+    } else {
+        _results.events.record(Event::RmMemory);
+    }
+    if (popcount(st.holders) == 1)
+        ++_results.holderGrowth12;
+    st.holders |= unit_bit;
+}
+
+void
+WtiEngine::handleWrite(unsigned unit, BlockState &st)
+{
+    const std::uint64_t unit_bit = 1ULL << unit;
+    const bool has_copy = (st.holders & unit_bit) != 0;
+    const std::uint64_t others = st.holders & ~unit_bit;
+
+    if (has_copy) {
+        // The write-through is snooped; other copies invalidate.
+        const unsigned fanout = popcount(others);
+        _results.events.record(fanout == 0 ? Event::WhBlkClnExcl
+                                           : Event::WhBlkClnShared);
+        _results.whClnFanout.sample(fanout);
+        st.holders = unit_bit;
+        return;
+    }
+
+    if (!st.referenced) {
+        st.referenced = true;
+        _results.events.record(Event::WmFirstRef);
+    } else if (st.holders != 0) {
+        _results.events.record(Event::WmBlkCln);
+        _results.wmClnFanout.sample(popcount(st.holders));
+    } else {
+        _results.events.record(Event::WmMemory);
+    }
+    // Other copies are invalidated by the snooped write-through
+    // whether or not the writer allocates the block.
+    st.holders = _allocate ? unit_bit : 0;
+}
+
+} // namespace dirsim::coherence

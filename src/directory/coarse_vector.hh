@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Coarse-vector directory entry (Section 6's limited-broadcast code).
+ *
+ * The paper proposes storing a word of d = log2(n) digits where each
+ * digit is 0, 1 or "both".  A digit pattern with no "both" digits
+ * names exactly one cache; each "both" digit doubles the set of caches
+ * denoted.  The code always denotes a *superset* of the true holders,
+ * so invalidations sent to every denoted cache are correct but may
+ * include caches without a copy ("limited broadcast").  Storage is
+ * 2 bits per digit = 2*log2(n) bits.
+ */
+
+#ifndef DIRSIM_DIRECTORY_COARSE_VECTOR_HH
+#define DIRSIM_DIRECTORY_COARSE_VECTOR_HH
+
+#include "directory/entry.hh"
+
+namespace dirsim::directory
+{
+
+/** Trinary-digit coded sharer-superset entry. */
+class CoarseVectorEntry : public DirEntry
+{
+  public:
+    /** @param nUnits Number of caches; must be a power of two <= 64. */
+    explicit CoarseVectorEntry(unsigned nUnits);
+
+    void addSharer(unsigned unit) override;
+    void makeOwner(unsigned unit) override;
+    void removeSharer(unsigned unit) override;
+    void cleanse() override;
+
+    bool dirty() const override { return _dirty; }
+    InvalTargets invalTargets(unsigned writer,
+                              bool writerHasCopy) const override;
+
+    /** The denoted superset as a cache bitmask (empty when invalid). */
+    std::uint64_t denotedMask() const;
+    /** Number of digits coded "both". */
+    unsigned bothDigits() const;
+
+  private:
+    unsigned _nUnits;
+    unsigned _nDigits;
+    bool _valid = false; //!< Some cache holds the block.
+    bool _dirty = false;
+    /** Per digit: the 0/1 value when known. */
+    std::uint64_t _value = 0;
+    /** Per digit: set when the digit is "both". */
+    std::uint64_t _both = 0;
+};
+
+/** Factory for CoarseVectorEntry. */
+class CoarseVectorFactory : public DirEntryFactory
+{
+  public:
+    std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+};
+
+} // namespace dirsim::directory
+
+#endif // DIRSIM_DIRECTORY_COARSE_VECTOR_HH

@@ -1,0 +1,52 @@
+#include "directory/full_map.hh"
+
+#include <cassert>
+
+namespace dirsim::directory
+{
+
+void
+FullMapEntry::addSharer(unsigned unit)
+{
+    assert(unit < _nUnits);
+    _presence |= 1ULL << unit;
+}
+
+void
+FullMapEntry::makeOwner(unsigned unit)
+{
+    assert(unit < _nUnits);
+    _presence = 1ULL << unit;
+    _dirty = true;
+}
+
+void
+FullMapEntry::removeSharer(unsigned unit)
+{
+    _presence &= ~(1ULL << unit);
+    if (_presence == 0)
+        _dirty = false;
+}
+
+void
+FullMapEntry::cleanse()
+{
+    _dirty = false;
+}
+
+InvalTargets
+FullMapEntry::invalTargets(unsigned writer, bool writerHasCopy) const
+{
+    (void)writerHasCopy;
+    InvalTargets targets;
+    targets.mask = _presence & ~(1ULL << writer);
+    return targets;
+}
+
+std::unique_ptr<DirEntry>
+FullMapFactory::make(unsigned nUnits) const
+{
+    return std::make_unique<FullMapEntry>(nUnits);
+}
+
+} // namespace dirsim::directory

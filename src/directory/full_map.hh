@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Full-map directory entry (Censier and Feautrier).
+ *
+ * One presence bit per cache plus a dirty bit: the directory always
+ * knows exactly which caches hold the block, so invalidations are
+ * directed and never broadcast.  This is the DirnNB organisation in
+ * the paper's taxonomy.
+ */
+
+#ifndef DIRSIM_DIRECTORY_FULL_MAP_HH
+#define DIRSIM_DIRECTORY_FULL_MAP_HH
+
+#include "directory/entry.hh"
+
+namespace dirsim::directory
+{
+
+/** Presence-bit-vector entry; exact sharer knowledge. */
+class FullMapEntry : public DirEntry
+{
+  public:
+    explicit FullMapEntry(unsigned nUnits) : _nUnits(nUnits) {}
+
+    void addSharer(unsigned unit) override;
+    void makeOwner(unsigned unit) override;
+    void removeSharer(unsigned unit) override;
+    void cleanse() override;
+
+    bool dirty() const override { return _dirty; }
+    InvalTargets invalTargets(unsigned writer,
+                              bool writerHasCopy) const override;
+
+    /** Presence bits (for tests). */
+    std::uint64_t presence() const { return _presence; }
+
+  private:
+    unsigned _nUnits;
+    std::uint64_t _presence = 0;
+    bool _dirty = false;
+};
+
+/** Factory for FullMapEntry. */
+class FullMapFactory : public DirEntryFactory
+{
+  public:
+    std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+};
+
+} // namespace dirsim::directory
+
+#endif // DIRSIM_DIRECTORY_FULL_MAP_HH

@@ -1,0 +1,108 @@
+#include "directory/limited_pointer.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dirsim::directory
+{
+
+LimitedPointerEntry::LimitedPointerEntry(unsigned nUnits,
+                                         unsigned nPointers,
+                                         bool allowBroadcast)
+    : _nUnits(nUnits), _nPointers(nPointers),
+      _allowBroadcast(allowBroadcast)
+{
+    if (nPointers == 0)
+        throw std::invalid_argument(
+            "LimitedPointerEntry: need at least one pointer "
+            "(Dir0NB cannot grant exclusive access)");
+    _pointers.reserve(nPointers);
+}
+
+bool
+LimitedPointerEntry::holds(unsigned unit) const
+{
+    return std::find(_pointers.begin(), _pointers.end(), unit) !=
+           _pointers.end();
+}
+
+bool
+LimitedPointerEntry::wouldOverflow(unsigned unit) const
+{
+    return !_broadcast && !holds(unit) &&
+           _pointers.size() >= _nPointers;
+}
+
+void
+LimitedPointerEntry::addSharer(unsigned unit)
+{
+    assert(unit < _nUnits);
+    if (_broadcast || holds(unit))
+        return;
+    if (_pointers.size() >= _nPointers) {
+        if (!_allowBroadcast) {
+            throw std::logic_error(
+                "LimitedPointerEntry: pointer overflow in no-broadcast "
+                "mode; caller must invalidate a copy first");
+        }
+        // Identities are lost from here on.
+        _broadcast = true;
+        _pointers.clear();
+        return;
+    }
+    _pointers.push_back(unit);
+}
+
+void
+LimitedPointerEntry::makeOwner(unsigned unit)
+{
+    assert(unit < _nUnits);
+    _broadcast = false;
+    _pointers.clear();
+    _pointers.push_back(unit);
+    _dirty = true;
+}
+
+void
+LimitedPointerEntry::removeSharer(unsigned unit)
+{
+    // Under broadcast the identities are unknown; nothing to remove.
+    auto it = std::find(_pointers.begin(), _pointers.end(), unit);
+    if (it != _pointers.end())
+        _pointers.erase(it);
+    if (_pointers.empty() && !_broadcast)
+        _dirty = false;
+}
+
+void
+LimitedPointerEntry::cleanse()
+{
+    _dirty = false;
+}
+
+InvalTargets
+LimitedPointerEntry::invalTargets(unsigned writer,
+                                  bool writerHasCopy) const
+{
+    (void)writerHasCopy;
+    InvalTargets targets;
+    if (_broadcast) {
+        targets.broadcast = true;
+        return targets;
+    }
+    for (unsigned unit : _pointers) {
+        if (unit != writer)
+            targets.mask |= 1ULL << unit;
+    }
+    return targets;
+}
+
+std::unique_ptr<DirEntry>
+LimitedPointerFactory::make(unsigned nUnits) const
+{
+    return std::make_unique<LimitedPointerEntry>(nUnits, _nPointers,
+                                                 _allowBroadcast);
+}
+
+} // namespace dirsim::directory

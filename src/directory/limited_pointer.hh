@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Limited-pointer directory entry (DiriB / DiriNB building block).
+ *
+ * Stores up to i cache indices.  In broadcast mode (DiriB) adding a
+ * sharer beyond the i-th sets a broadcast bit: the directory no longer
+ * knows the holders and must broadcast invalidations until the entry
+ * is reset by a write.  In no-broadcast mode (DiriNB) the caller must
+ * keep the holder count within i by invalidating an existing copy
+ * before adding a new one; wouldOverflow() tells it when.
+ */
+
+#ifndef DIRSIM_DIRECTORY_LIMITED_POINTER_HH
+#define DIRSIM_DIRECTORY_LIMITED_POINTER_HH
+
+#include <vector>
+
+#include "directory/entry.hh"
+
+namespace dirsim::directory
+{
+
+/** i-pointer entry with optional broadcast fallback. */
+class LimitedPointerEntry : public DirEntry
+{
+  public:
+    /**
+     * @param nUnits Number of caches in the system.
+     * @param nPointers The i of DiriB/DiriNB; must be >= 1.
+     * @param allowBroadcast True for DiriB, false for DiriNB.
+     */
+    LimitedPointerEntry(unsigned nUnits, unsigned nPointers,
+                        bool allowBroadcast);
+
+    void addSharer(unsigned unit) override;
+    void makeOwner(unsigned unit) override;
+    void removeSharer(unsigned unit) override;
+    void cleanse() override;
+
+    bool dirty() const override { return _dirty; }
+    InvalTargets invalTargets(unsigned writer,
+                              bool writerHasCopy) const override;
+
+    /** Would recording @p unit exceed the pointer count? */
+    bool wouldOverflow(unsigned unit) const;
+    /** Broadcast bit state (DiriB only). */
+    bool broadcastSet() const { return _broadcast; }
+    /** Recorded pointers (exact holders in DiriNB mode). */
+    const std::vector<unsigned> &pointers() const { return _pointers; }
+
+  private:
+    bool holds(unsigned unit) const;
+
+    unsigned _nUnits;
+    unsigned _nPointers;
+    bool _allowBroadcast;
+    bool _broadcast = false;
+    bool _dirty = false;
+    std::vector<unsigned> _pointers;
+};
+
+/** Factory for LimitedPointerEntry with fixed i and mode. */
+class LimitedPointerFactory : public DirEntryFactory
+{
+  public:
+    LimitedPointerFactory(unsigned nPointers, bool allowBroadcast)
+        : _nPointers(nPointers), _allowBroadcast(allowBroadcast)
+    {
+    }
+
+    std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+
+  private:
+    unsigned _nPointers;
+    bool _allowBroadcast;
+};
+
+} // namespace dirsim::directory
+
+#endif // DIRSIM_DIRECTORY_LIMITED_POINTER_HH

@@ -1,0 +1,126 @@
+#include "directory/storage.hh"
+
+#include <cmath>
+
+#include "mem/block.hh"
+
+namespace dirsim::directory
+{
+
+namespace
+{
+
+/** ceil(log2(n)), with log2(1) = 1 bit to keep pointers addressable. */
+unsigned
+ceilLog2(unsigned n)
+{
+    unsigned bits = 0;
+    unsigned v = 1;
+    while (v < n) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits == 0 ? 1 : bits;
+}
+
+} // namespace
+
+std::string
+organizationName(Organization org, unsigned nPointers)
+{
+    switch (org) {
+      case Organization::Tang:
+        return "Tang (duplicate dirs)";
+      case Organization::FullMap:
+        return "Full map (DirnNB)";
+      case Organization::YenFu:
+        return "Yen-Fu (map+single)";
+      case Organization::TwoBit:
+        return "Two-bit (Dir0B)";
+      case Organization::LimitedPointer:
+        return "Dir" + std::to_string(nPointers) + "B";
+      case Organization::LimitedPointerNB:
+        return "Dir" + std::to_string(nPointers) + "NB";
+      case Organization::CoarseVector:
+        return "Coarse vector";
+    }
+    return "?";
+}
+
+double
+bitsPerMemoryBlock(Organization org, const StorageParams &params)
+{
+    const unsigned n = params.nCaches;
+    const unsigned ptr_bits = ceilLog2(n);
+    switch (org) {
+      case Organization::Tang: {
+        // A duplicate of every cache directory: per cache block one
+        // tag plus a dirty bit, amortised over memory blocks.
+        const unsigned block_offset_bits =
+            mem::log2Exact(params.blockBytes);
+        const unsigned tag_bits =
+            params.addressBits - block_offset_bits;
+        const double total =
+            static_cast<double>(n) *
+            static_cast<double>(params.cacheBlocksPerCache) *
+            (tag_bits + 1.0);
+        return total / static_cast<double>(params.memoryBlocks);
+      }
+      case Organization::FullMap:
+        // One presence bit per cache plus a dirty bit.
+        return n + 1.0;
+      case Organization::YenFu:
+        // Full map at memory plus one single bit per resident cache
+        // block, amortised over memory blocks.
+        return (n + 1.0) +
+               static_cast<double>(n) *
+                   static_cast<double>(params.cacheBlocksPerCache) /
+                   static_cast<double>(params.memoryBlocks);
+      case Organization::TwoBit:
+        return 2.0;
+      case Organization::LimitedPointer:
+        // i pointers, a broadcast bit, and a dirty bit.
+        return params.nPointers * ptr_bits + 2.0;
+      case Organization::LimitedPointerNB:
+        // i pointers and a dirty bit.
+        return params.nPointers * ptr_bits + 1.0;
+      case Organization::CoarseVector:
+        // 2 bits per digit, log2(n) digits, plus valid and dirty.
+        return 2.0 * ptr_bits + 2.0;
+    }
+    return 0.0;
+}
+
+std::vector<StorageRow>
+storageTable(const std::vector<unsigned> &cacheCounts,
+             const StorageParams &base)
+{
+    const std::vector<std::pair<Organization, unsigned>> schemes = {
+        {Organization::Tang, 0},
+        {Organization::FullMap, 0},
+        {Organization::YenFu, 0},
+        {Organization::TwoBit, 0},
+        {Organization::LimitedPointer, 1},
+        {Organization::LimitedPointer, 2},
+        {Organization::LimitedPointer, 4},
+        {Organization::LimitedPointerNB, 4},
+        {Organization::CoarseVector, 0},
+    };
+
+    std::vector<StorageRow> rows;
+    for (const auto &[org, ptrs] : schemes) {
+        StorageRow row;
+        row.scheme = organizationName(org, ptrs);
+        for (unsigned n : cacheCounts) {
+            StorageParams params = base;
+            params.nCaches = n;
+            if (ptrs != 0)
+                params.nPointers = ptrs;
+            row.bitsPerBlock.push_back(bitsPerMemoryBlock(org, params));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace dirsim::directory

@@ -1,0 +1,91 @@
+#include "directory/two_bit.hh"
+
+namespace dirsim::directory
+{
+
+void
+TwoBitEntry::addSharer(unsigned unit)
+{
+    (void)unit;
+    switch (_state) {
+      case TwoBitState::NotCached:
+        _state = TwoBitState::CleanExclusive;
+        break;
+      case TwoBitState::CleanExclusive:
+      case TwoBitState::CleanMany:
+        // A second (or later) cache obtained a copy; the count is now
+        // unknown.
+        _state = TwoBitState::CleanMany;
+        break;
+      case TwoBitState::DirtyOne:
+        // Fill after a flush: the ex-owner keeps a clean copy, so two
+        // caches now hold the block.
+        _state = TwoBitState::CleanMany;
+        break;
+    }
+}
+
+void
+TwoBitEntry::makeOwner(unsigned unit)
+{
+    (void)unit;
+    _state = TwoBitState::DirtyOne;
+}
+
+void
+TwoBitEntry::removeSharer(unsigned unit)
+{
+    (void)unit;
+    switch (_state) {
+      case TwoBitState::CleanExclusive:
+      case TwoBitState::DirtyOne:
+        _state = TwoBitState::NotCached;
+        break;
+      case TwoBitState::CleanMany:
+        // The directory cannot count down from "unknown number";
+        // a real implementation stays conservative.
+        break;
+      case TwoBitState::NotCached:
+        break;
+    }
+}
+
+void
+TwoBitEntry::cleanse()
+{
+    if (_state == TwoBitState::DirtyOne)
+        _state = TwoBitState::CleanExclusive;
+}
+
+InvalTargets
+TwoBitEntry::invalTargets(unsigned writer, bool writerHasCopy) const
+{
+    (void)writer;
+    InvalTargets targets;
+    switch (_state) {
+      case TwoBitState::NotCached:
+        break;
+      case TwoBitState::CleanExclusive:
+        // The whole point of this state: a write hit by the sole
+        // holder needs no broadcast.
+        targets.broadcast = !writerHasCopy;
+        break;
+      case TwoBitState::CleanMany:
+        targets.broadcast = true;
+        break;
+      case TwoBitState::DirtyOne:
+        // A write hit in DirtyOne is local; anything else must flush
+        // the (unknown) owner by broadcast.
+        targets.broadcast = !writerHasCopy;
+        break;
+    }
+    return targets;
+}
+
+std::unique_ptr<DirEntry>
+TwoBitFactory::make(unsigned nUnits) const
+{
+    return std::make_unique<TwoBitEntry>(nUnits);
+}
+
+} // namespace dirsim::directory

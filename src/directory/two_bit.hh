@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Two-bit directory entry (Archibald and Baer; Dir0B).
+ *
+ * Encodes one of four states with no cache identities: not cached,
+ * clean in exactly one cache, clean in an unknown number of caches,
+ * or dirty in exactly one cache.  Invalidations and write-back
+ * requests rely on broadcast; the "clean in exactly one cache" state
+ * exists precisely to avoid a broadcast when that one cache writes.
+ */
+
+#ifndef DIRSIM_DIRECTORY_TWO_BIT_HH
+#define DIRSIM_DIRECTORY_TWO_BIT_HH
+
+#include "directory/entry.hh"
+
+namespace dirsim::directory
+{
+
+/** The four encodable states. */
+enum class TwoBitState : std::uint8_t
+{
+    NotCached = 0,
+    CleanExclusive = 1, //!< Clean in exactly one cache.
+    CleanMany = 2,      //!< Clean in an unknown number of caches.
+    DirtyOne = 3,       //!< Dirty in exactly one cache.
+};
+
+/** Identity-free two-bit entry. */
+class TwoBitEntry : public DirEntry
+{
+  public:
+    explicit TwoBitEntry(unsigned nUnits) { (void)nUnits; }
+
+    void addSharer(unsigned unit) override;
+    void makeOwner(unsigned unit) override;
+    void removeSharer(unsigned unit) override;
+    void cleanse() override;
+
+    bool dirty() const override { return _state == TwoBitState::DirtyOne; }
+    InvalTargets invalTargets(unsigned writer,
+                              bool writerHasCopy) const override;
+
+    TwoBitState state() const { return _state; }
+
+  private:
+    TwoBitState _state = TwoBitState::NotCached;
+};
+
+/** Factory for TwoBitEntry. */
+class TwoBitFactory : public DirEntryFactory
+{
+  public:
+    std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+};
+
+} // namespace dirsim::directory
+
+#endif // DIRSIM_DIRECTORY_TWO_BIT_HH

@@ -1,0 +1,35 @@
+#include "gen/lock_set.hh"
+
+#include <cassert>
+
+namespace dirsim::gen
+{
+
+void
+LockSet::acquire(std::size_t lock, std::uint16_t pid)
+{
+    Lock &lk = _locks[lock];
+    assert(!lk.held && "acquire of a held lock");
+    lk.held = true;
+    lk.owner = pid;
+    ++lk.acquisitions;
+}
+
+void
+LockSet::release(std::size_t lock)
+{
+    Lock &lk = _locks[lock];
+    assert(lk.held && "release of a free lock");
+    lk.held = false;
+}
+
+std::uint64_t
+LockSet::totalAcquisitions() const
+{
+    std::uint64_t total = 0;
+    for (const Lock &lk : _locks)
+        total += lk.acquisitions;
+    return total;
+}
+
+} // namespace dirsim::gen

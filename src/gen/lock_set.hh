@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Spin-lock state shared between synthetic processes.
+ *
+ * The generator simulates real test-and-test-and-set semantics: a lock
+ * is a word with a held/free state and an owner, and processes observe
+ * and mutate that state through the references they emit.  This keeps
+ * the temporal ordering of synchronisation in the trace faithful, which
+ * the paper calls out as a property of its ATUM traces.
+ */
+
+#ifndef DIRSIM_GEN_LOCK_SET_HH
+#define DIRSIM_GEN_LOCK_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dirsim::gen
+{
+
+/** State of one spin lock. */
+struct Lock
+{
+    std::uint64_t addr = 0;   //!< Byte address of the lock word.
+    bool held = false;
+    std::uint16_t owner = 0;  //!< Valid only when held.
+    std::uint64_t acquisitions = 0;
+    std::uint32_t waiters = 0;//!< Processes currently spinning.
+};
+
+/** The workload's locks plus bookkeeping helpers. */
+class LockSet
+{
+  public:
+    LockSet() = default;
+
+    void add(std::uint64_t addr) { _locks.push_back(Lock{addr}); }
+
+    std::size_t size() const { return _locks.size(); }
+    Lock &operator[](std::size_t i) { return _locks[i]; }
+    const Lock &operator[](std::size_t i) const { return _locks[i]; }
+
+    /** Mark @p lock acquired by @p pid. */
+    void acquire(std::size_t lock, std::uint16_t pid);
+    /** Mark @p lock released; owner relinquishes. */
+    void release(std::size_t lock);
+
+    /** Total acquisitions across all locks. */
+    std::uint64_t totalAcquisitions() const;
+
+  private:
+    std::vector<Lock> _locks;
+};
+
+} // namespace dirsim::gen
+
+#endif // DIRSIM_GEN_LOCK_SET_HH

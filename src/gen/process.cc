@@ -1,0 +1,224 @@
+#include "gen/process.hh"
+
+#include <algorithm>
+
+namespace dirsim::gen
+{
+
+using trace::FlagLockTest;
+using trace::FlagLockWrite;
+using trace::FlagSystem;
+using trace::RefType;
+using trace::TraceRecord;
+
+ProcessEngine::ProcessEngine(std::uint16_t pid, const BehaviorConfig &cfg,
+                             const AddressSpace &space,
+                             SharedState &shared, Rng &rng)
+    : _pid(pid), _cfg(cfg), _space(space), _shared(shared), _rng(rng)
+{
+    // Start each process at a distinct point in its code region.
+    _pc = pid * 17;
+}
+
+TraceRecord
+ProcessEngine::step(unsigned cpu)
+{
+    TraceRecord rec;
+    // Kernel entries happen regardless of user-level mode: interrupts
+    // and system calls interleave with spinning and critical sections
+    // alike.  Lock state is not advanced by a kernel step.
+    if (_rng.chance(_cfg.pSystem)) {
+        rec = stepSystem(cpu);
+    } else {
+        switch (_mode) {
+          case Mode::Normal:
+            rec = stepNormal();
+            break;
+          case Mode::Spinning:
+            rec = stepSpinning();
+            break;
+          case Mode::Critical:
+            rec = stepCritical();
+            break;
+        }
+    }
+    rec.pid = _pid;
+    rec.cpu = static_cast<std::uint8_t>(cpu);
+    return rec;
+}
+
+TraceRecord
+ProcessEngine::stepSystem(unsigned cpu)
+{
+    TraceRecord rec;
+    if (_rng.chance(_cfg.pOsInstr)) {
+        rec = read(_space.osCodeAddr(_rng));
+        rec.type = RefType::Instr;
+    } else {
+        const std::uint64_t addr = _rng.chance(_cfg.pOsShared)
+                                       ? _space.osSharedAddr(_rng)
+                                       : _space.osPerCpuAddr(cpu, _rng);
+        rec = _rng.chance(_cfg.pOsWrite) ? write(addr) : read(addr);
+    }
+    rec.flags |= FlagSystem;
+    return rec;
+}
+
+TraceRecord
+ProcessEngine::stepNormal()
+{
+    if (_rng.chance(_cfg.pInstr))
+        return instrFetch();
+
+    // Finish read-modify-write sequences before new work.
+    if (!_pendingWrites.empty()) {
+        const std::uint64_t addr = _pendingWrites.back();
+        _pendingWrites.pop_back();
+        return write(addr);
+    }
+
+    const std::size_t category = _rng.pickWeighted(
+        {_cfg.wPrivate, _cfg.wSharedRead, _cfg.wSharedWrite,
+         _cfg.wMigratory, _cfg.wLockAttempt});
+    switch (category) {
+      case 0: { // Private data.
+        const std::uint64_t addr = _space.privateAddr(_pid, _rng);
+        return _rng.chance(_cfg.pPrivateRead) ? read(addr) : write(addr);
+      }
+      case 1: { // Read-mostly shared data.
+        const std::uint64_t addr = _space.sharedReadAddr(_rng);
+        return _rng.chance(_cfg.pSharedReadWrite) ? write(addr)
+                                                  : read(addr);
+      }
+      case 2: { // Producer/consumer shared slots.
+        if (_rng.chance(_cfg.pSharedSlotWrite))
+            return write(_space.sharedWriteOwnAddr(_pid, _rng));
+        return read(_space.sharedWriteAddr(_rng));
+      }
+      case 3: { // Migratory object: read, then a write burst.
+        const std::uint32_t obj = pickMigratoryObject();
+        _shared.migratoryOwner[obj] = _pid;
+        const std::uint64_t addr = _space.migratoryAddr(obj, 0);
+        for (std::uint32_t w = 0; w < _cfg.migratoryWriteBurst; ++w)
+            _pendingWrites.push_back(addr);
+        if (_space.config().blocksPerMigratoryObject > 1 &&
+            _rng.chance(0.5)) {
+            _pendingWrites.push_back(_space.migratoryAddr(obj, 1));
+        }
+        return read(addr);
+      }
+      default: { // Lock acquisition attempt.
+        _lock = pickLock();
+        Lock &lk = _shared.locks[_lock];
+        _mode = Mode::Spinning;
+        _sawFree = !lk.held;
+        ++lk.waiters;
+        return read(lk.addr, FlagLockTest);
+      }
+    }
+}
+
+TraceRecord
+ProcessEngine::stepSpinning()
+{
+    Lock &lk = _shared.locks[_lock];
+    if (_sawFree) {
+        if (!lk.held) {
+            // Atomic test-and-set succeeds.
+            --lk.waiters;
+            _shared.locks.acquire(_lock, _pid);
+            _mode = Mode::Critical;
+            _critRemaining = static_cast<std::uint32_t>(
+                _rng.nextInRange(_cfg.critMin, _cfg.critMax));
+            return write(lk.addr, FlagLockWrite);
+        }
+        // Lost the race: another process grabbed it first.
+        _sawFree = false;
+    }
+    // Spin loop body: a test read, interleaved with the loop's own
+    // instruction fetches.
+    if (_rng.chance(_cfg.pSpinInstr))
+        return instrFetch();
+    _sawFree = !lk.held;
+    return read(lk.addr, FlagLockTest);
+}
+
+TraceRecord
+ProcessEngine::stepCritical()
+{
+    if (_critRemaining == 0) {
+        // Release: a plain write to the lock word.
+        _shared.locks.release(_lock);
+        _mode = Mode::Normal;
+        return write(_shared.locks[_lock].addr, FlagLockWrite);
+    }
+    --_critRemaining;
+    if (_rng.chance(_cfg.pInstr))
+        return instrFetch();
+    const std::uint64_t addr =
+        _rng.chance(_cfg.pCritProtected)
+            ? _space.protectedAddr(static_cast<std::uint32_t>(_lock),
+                                   _rng)
+            : _space.privateAddr(_pid, _rng);
+    return _rng.chance(_cfg.pCritWrite) ? write(addr) : read(addr);
+}
+
+TraceRecord
+ProcessEngine::instrFetch()
+{
+    // Sequential fetch with occasional branches back into the region.
+    if (_rng.chance(0.1))
+        _pc = _rng.nextBelow(_space.codeBlocks() * 4);
+    else
+        ++_pc;
+    TraceRecord rec;
+    rec.type = RefType::Instr;
+    rec.addr = _space.codeAddr(_pid, _pc / 4);
+    return rec;
+}
+
+TraceRecord
+ProcessEngine::read(std::uint64_t addr, std::uint8_t flags)
+{
+    TraceRecord rec;
+    rec.type = RefType::Read;
+    rec.addr = addr;
+    rec.flags = flags;
+    return rec;
+}
+
+TraceRecord
+ProcessEngine::write(std::uint64_t addr, std::uint8_t flags)
+{
+    TraceRecord rec;
+    rec.type = RefType::Write;
+    rec.addr = addr;
+    rec.flags = flags;
+    return rec;
+}
+
+std::size_t
+ProcessEngine::pickLock()
+{
+    const std::size_t n_locks = _shared.locks.size();
+    const std::size_t n_hot =
+        std::min<std::size_t>(_cfg.nHotLocks, n_locks);
+    if (n_hot > 0 && _rng.chance(_cfg.hotLockFrac))
+        return _rng.nextBelow(n_hot);
+    return _rng.nextBelow(n_locks);
+}
+
+std::uint32_t
+ProcessEngine::pickMigratoryObject()
+{
+    const auto n_objects =
+        static_cast<std::uint32_t>(_shared.migratoryOwner.size());
+    auto obj = static_cast<std::uint32_t>(_rng.nextBelow(n_objects));
+    // Bias towards objects last owned by another process so the
+    // migratory (dirty hand-off) pattern is exercised.
+    if (_shared.migratoryOwner[obj] == _pid && _rng.chance(0.7))
+        obj = static_cast<std::uint32_t>(_rng.nextBelow(n_objects));
+    return obj;
+}
+
+} // namespace dirsim::gen

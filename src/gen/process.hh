@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Synthetic process behaviour engine.
+ *
+ * Each ProcessEngine models one application process as a small state
+ * machine that emits one memory reference per scheduling step:
+ *
+ *  - Normal:  instruction fetches and data references drawn from a
+ *             weighted mix of private data, read-mostly shared data,
+ *             write-first shared slots, migratory objects (read-modify-
+ *             write handed between processes) and lock acquisition
+ *             attempts.
+ *  - Spinning: a test-and-test-and-set wait loop on a held lock; emits
+ *             flagged lock-test reads interleaved with loop
+ *             instructions until the lock is observed free, then
+ *             attempts the atomic set (a write) on the next step.
+ *  - Critical: the lock-protected region; touches protected and
+ *             private data, then emits the releasing write.
+ *
+ * Operating-system activity is interleaved: with probability pSystem a
+ * step executes "in the kernel", referencing OS code, per-CPU OS data
+ * or (rarely written) OS shared data, flagged FlagSystem.
+ *
+ * The mix weights below are the calibration knobs used to land the
+ * preset workloads near the published Table 3/Table 4 characteristics.
+ */
+
+#ifndef DIRSIM_GEN_PROCESS_HH
+#define DIRSIM_GEN_PROCESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/address_space.hh"
+#include "gen/lock_set.hh"
+#include "gen/rng.hh"
+#include "trace/record.hh"
+
+namespace dirsim::gen
+{
+
+/** Behaviour mix parameters for synthetic processes. */
+struct BehaviorConfig
+{
+    double pInstr = 0.50;  //!< Instruction-fetch probability per step.
+    double pSystem = 0.10; //!< Probability a step runs kernel code.
+
+    /** @name Data reference category weights (user mode, normalised).
+     *  @{ */
+    double wPrivate = 0.90;
+    double wSharedRead = 0.06;
+    double wSharedWrite = 0.004;
+    double wMigratory = 0.015;
+    double wLockAttempt = 0.004;
+    /** @} */
+
+    double pPrivateRead = 0.78;    //!< Private touch is a read.
+    double pSharedReadWrite = 0.002;//!< Read-mostly touch is a write.
+    /**
+     * Producer/consumer slots: with this probability the touch is the
+     * producer writing one of its own slots (repeatedly rewritten, so
+     * an update protocol pays on every write while an invalidation
+     * protocol pays only after a consumer read); otherwise it is a
+     * consumer read of a random slot.
+     */
+    double pSharedSlotWrite = 0.90;
+    /** Writes per migratory hand-off (read-modify-write burst). */
+    std::uint32_t migratoryWriteBurst = 4;
+
+    double pSpinInstr = 0.40;      //!< Spin-loop instruction fraction.
+    std::uint32_t critMin = 12;    //!< Min critical-section length.
+    std::uint32_t critMax = 48;    //!< Max critical-section length.
+    double pCritProtected = 0.60;  //!< Critical data is lock-protected.
+    double pCritWrite = 0.30;      //!< Critical data touch is a write.
+
+    double hotLockFrac = 0.85;     //!< Lock picks go to the hot set.
+    std::uint32_t nHotLocks = 2;   //!< Size of the hot lock set.
+
+    /** OS data mix. */
+    double pOsInstr = 0.55;
+    double pOsShared = 0.05;       //!< OS data touch hits shared region.
+    double pOsWrite = 0.20;        //!< OS data touch is a write.
+};
+
+/** Shared mutable state that all processes of a workload act on. */
+struct SharedState
+{
+    LockSet locks;
+    /** Last process to own each migratory object. */
+    std::vector<std::uint16_t> migratoryOwner;
+};
+
+/** One synthetic process; emits one TraceRecord per step. */
+class ProcessEngine
+{
+  public:
+    /**
+     * @param pid Process identifier stamped on emitted records.
+     * @param cfg Behaviour mix (shared by all processes of a workload).
+     * @param space Address-space layout; must outlive the engine.
+     * @param shared Workload-wide lock/migratory state.
+     * @param rng Workload-wide RNG (single stream for determinism).
+     */
+    ProcessEngine(std::uint16_t pid, const BehaviorConfig &cfg,
+                  const AddressSpace &space, SharedState &shared,
+                  Rng &rng);
+
+    /**
+     * Emit the next reference for this process.
+     *
+     * @param cpu CPU the process is currently scheduled on (stamped on
+     *            the record and used for per-CPU OS data).
+     */
+    trace::TraceRecord step(unsigned cpu);
+
+    std::uint16_t pid() const { return _pid; }
+    /** True while the process is spin-waiting on a lock. */
+    bool spinning() const { return _mode == Mode::Spinning; }
+
+  private:
+    enum class Mode { Normal, Spinning, Critical };
+
+    trace::TraceRecord stepSystem(unsigned cpu);
+    trace::TraceRecord stepNormal();
+    trace::TraceRecord stepSpinning();
+    trace::TraceRecord stepCritical();
+
+    trace::TraceRecord instrFetch();
+    trace::TraceRecord read(std::uint64_t addr, std::uint8_t flags = 0);
+    trace::TraceRecord write(std::uint64_t addr, std::uint8_t flags = 0);
+
+    /** Pick a lock index, biased towards the hot set. */
+    std::size_t pickLock();
+    /** Pick a migratory object, biased away from self-owned ones. */
+    std::uint32_t pickMigratoryObject();
+
+    const std::uint16_t _pid;
+    const BehaviorConfig &_cfg;
+    const AddressSpace &_space;
+    SharedState &_shared;
+    Rng &_rng;
+
+    Mode _mode = Mode::Normal;
+    std::uint64_t _pc = 0;          //!< Code-region walker.
+    std::size_t _lock = 0;          //!< Lock being waited on / held.
+    bool _sawFree = false;          //!< Spin observed the lock free.
+    std::uint32_t _critRemaining = 0;
+    /** Pending read-modify-write writes (migratory pattern). */
+    std::vector<std::uint64_t> _pendingWrites;
+};
+
+} // namespace dirsim::gen
+
+#endif // DIRSIM_GEN_PROCESS_HH

@@ -1,0 +1,104 @@
+#include "gen/rng.hh"
+
+namespace dirsim::gen
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : _state)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Multiply-shift bounded sampling; bias is negligible for the
+    // bounds used here (all far below 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(nextU64()) * bound) >> 64);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + nextBelow(hi - lo + 1);
+}
+
+std::size_t
+Rng::pickWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    double roll = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        roll -= weights[i];
+        if (roll < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::uint64_t
+Rng::burstLength(double p, std::uint64_t cap)
+{
+    std::uint64_t len = 1;
+    while (len < cap && chance(p))
+        ++len;
+    return len;
+}
+
+} // namespace dirsim::gen

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * xoshiro256** seeded through splitmix64.  A self-contained generator
+ * (rather than <random> engines) keeps trace generation bit-identical
+ * across standard libraries, which the test suite relies on.
+ */
+
+#ifndef DIRSIM_GEN_RNG_HH
+#define DIRSIM_GEN_RNG_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dirsim::gen
+{
+
+/** xoshiro256** PRNG with convenience sampling helpers. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x5eed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p);
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+    /**
+     * Sample an index with probability proportional to @p weights.
+     * Returns weights.size()-1 on accumulated rounding error; at least
+     * one weight must be positive.
+     */
+    std::size_t pickWeighted(const std::vector<double> &weights);
+    /**
+     * Geometric-like burst length: number of successes before failure
+     * with continue-probability @p p, clamped to [1, cap].
+     */
+    std::uint64_t burstLength(double p, std::uint64_t cap);
+
+  private:
+    std::array<std::uint64_t, 4> _state;
+};
+
+} // namespace dirsim::gen
+
+#endif // DIRSIM_GEN_RNG_HH

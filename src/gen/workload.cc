@@ -1,0 +1,114 @@
+#include "gen/workload.hh"
+
+#include <cassert>
+
+namespace dirsim::gen
+{
+
+WorkloadSource::WorkloadSource(WorkloadConfig cfg)
+    : _cfg(std::move(cfg)), _space(_cfg.space), _rng(_cfg.seed)
+{
+    assert(_cfg.space.nProcesses >= _cfg.space.nCpus &&
+           "need at least one process per CPU");
+    reset();
+}
+
+void
+WorkloadSource::reset()
+{
+    _rng = Rng(_cfg.seed);
+    _shared = SharedState{};
+    for (std::uint32_t l = 0; l < _cfg.space.nLocks; ++l)
+        _shared.locks.add(_space.lockAddr(l));
+    _shared.migratoryOwner.assign(_cfg.space.migratoryObjects, 0xffff);
+
+    _processes.clear();
+    for (unsigned p = 0; p < _cfg.space.nProcesses; ++p) {
+        _processes.push_back(std::make_unique<ProcessEngine>(
+            static_cast<std::uint16_t>(p), _cfg.behavior, _space,
+            _shared, _rng));
+    }
+
+    _procOnCpu.clear();
+    _readyQueue.clear();
+    for (unsigned c = 0; c < _cfg.space.nCpus; ++c)
+        _procOnCpu.push_back(c);
+    for (std::size_t p = _cfg.space.nCpus; p < _processes.size(); ++p)
+        _readyQueue.push_back(p);
+    _quantumLeft.assign(_cfg.space.nCpus, _cfg.quantumRefs);
+
+    _emitted = 0;
+    _nextCpu = 0;
+}
+
+void
+WorkloadSource::rewind()
+{
+    reset();
+}
+
+void
+WorkloadSource::reschedule(unsigned cpu)
+{
+    _quantumLeft[cpu] = _cfg.quantumRefs;
+    if (!_readyQueue.empty()) {
+        // Time-slice: descheduled process goes to the back of the
+        // ready queue.  Whether this migrates the process depends on
+        // which CPU next picks it up.
+        const std::size_t incoming = _readyQueue.front();
+        _readyQueue.erase(_readyQueue.begin());
+        _readyQueue.push_back(_procOnCpu[cpu]);
+        _procOnCpu[cpu] = incoming;
+        return;
+    }
+    if (_cfg.migrationRate > 0.0 && _rng.chance(_cfg.migrationRate) &&
+        _cfg.space.nCpus > 1) {
+        // Swap with a random other CPU: both processes migrate.
+        unsigned other = static_cast<unsigned>(
+            _rng.nextBelow(_cfg.space.nCpus - 1));
+        if (other >= cpu)
+            ++other;
+        std::swap(_procOnCpu[cpu], _procOnCpu[other]);
+    }
+}
+
+bool
+WorkloadSource::next(trace::TraceRecord &record)
+{
+    if (_emitted >= _cfg.totalRefs)
+        return false;
+
+    const unsigned cpu = _nextCpu;
+    _nextCpu = (_nextCpu + 1) % _cfg.space.nCpus;
+
+    record = _processes[_procOnCpu[cpu]]->step(cpu);
+    ++_emitted;
+
+    if (--_quantumLeft[cpu] == 0)
+        reschedule(cpu);
+    return true;
+}
+
+trace::TraceMeta
+WorkloadSource::meta() const
+{
+    trace::TraceMeta meta;
+    meta.name = _cfg.name;
+    meta.nCpus = _cfg.space.nCpus;
+    meta.nProcesses = _cfg.space.nProcesses;
+    for (std::size_t l = 0; l < _shared.locks.size(); ++l)
+        meta.lockAddrs.insert(_shared.locks[l].addr);
+    return meta;
+}
+
+trace::MemoryTrace
+generateTrace(const WorkloadConfig &cfg)
+{
+    WorkloadSource source(cfg);
+    trace::MemoryTrace trace(source.meta());
+    trace.reserve(cfg.totalRefs);
+    trace.fillFrom(source);
+    return trace;
+}
+
+} // namespace dirsim::gen

@@ -1,0 +1,179 @@
+#include "gen/workloads.hh"
+
+#include <algorithm>
+
+namespace dirsim::gen
+{
+
+namespace
+{
+
+/** Baseline shared by all presets; presets adjust from here. */
+WorkloadConfig
+baseConfig()
+{
+    WorkloadConfig cfg;
+    cfg.space.nCpus = 4;
+    cfg.space.nProcesses = 4;
+    cfg.space.blockBytes = 16; // 4 words, as in the paper.
+
+    // Region sizes are chosen so the unique-block count (and with it
+    // the first-reference miss fraction, Table 4's rm-first-ref of
+    // ~0.3 %) lands near the published traces at the default
+    // quarter-size reference counts.
+    cfg.space.privateBlocksPerProc = 512;
+    cfg.space.privateHotBlocks = 96;
+    cfg.space.privateHotFrac = 0.90;
+    cfg.space.sharedReadBlocks = 512;
+    cfg.space.sharedWriteBlocks = 24;
+    cfg.space.migratoryObjects = 160;
+    cfg.space.blocksPerMigratoryObject = 2;
+    cfg.space.nLocks = 6;
+    cfg.space.protectedBlocksPerLock = 2;
+    cfg.space.osCodeBlocks = 1024;
+    cfg.space.osSharedBlocks = 48;
+    cfg.space.osPerCpuBlocks = 128;
+    return cfg;
+}
+
+} // namespace
+
+WorkloadConfig
+popsConfig(bool fullSize)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.name = "pops";
+    cfg.seed = 0x15CA1988'0001ULL;
+    cfg.totalRefs = fullSize ? 3'142'000 : 785'000;
+
+    cfg.behavior.pInstr = 0.53;
+    cfg.behavior.pSystem = 0.103;
+    cfg.behavior.pPrivateRead = 0.80;
+
+    // Lock-bound rule engine: one very hot lock serialises the shared
+    // working memory.  Long critical sections produce occasional long
+    // multi-waiter episodes, so processes spend a large share of time
+    // in test-and-test-and-set spin loops (about a third of all data
+    // reads become lock tests, as in the published trace) while the
+    // number of lock *hand-offs* stays small.
+    cfg.behavior.wPrivate = 0.91;
+    cfg.behavior.wSharedRead = 0.034;
+    cfg.behavior.wSharedWrite = 0.042;
+    cfg.behavior.wMigratory = 0.008;
+    cfg.behavior.wLockAttempt = 0.0029;
+    cfg.behavior.nHotLocks = 1;
+    cfg.behavior.hotLockFrac = 0.85;
+    cfg.behavior.critMin = 250;
+    cfg.behavior.critMax = 550;
+    cfg.behavior.pCritProtected = 0.08;
+    cfg.behavior.pOsShared = 0.08;
+    cfg.behavior.pOsWrite = 0.18;
+    return cfg;
+}
+
+WorkloadConfig
+thorConfig(bool fullSize)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.name = "thor";
+    cfg.seed = 0x15CA1988'0002ULL;
+    cfg.totalRefs = fullSize ? 3'222'000 : 805'000;
+
+    cfg.behavior.pInstr = 0.45;
+    cfg.behavior.pSystem = 0.154;
+    cfg.behavior.pPrivateRead = 0.78;
+
+    // The logic simulator's event wheel is lock-protected; critical
+    // sections are a little shorter and more frequent than pops'.
+    cfg.behavior.wPrivate = 0.9087;
+    cfg.behavior.wSharedRead = 0.036;
+    cfg.behavior.wSharedWrite = 0.042;
+    cfg.behavior.wMigratory = 0.009;
+    cfg.behavior.wLockAttempt = 0.0033;
+    cfg.behavior.nHotLocks = 1;
+    cfg.behavior.hotLockFrac = 0.80;
+    cfg.behavior.critMin = 200;
+    cfg.behavior.critMax = 480;
+    cfg.behavior.pCritProtected = 0.08;
+    cfg.behavior.pOsShared = 0.08;
+    cfg.behavior.pOsWrite = 0.18;
+
+    cfg.space.nLocks = 8;
+    cfg.space.sharedReadBlocks = 640;
+    cfg.space.migratoryObjects = 192;
+    return cfg;
+}
+
+WorkloadConfig
+peroConfig(bool fullSize)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.name = "pero";
+    cfg.seed = 0x15CA1988'0003ULL;
+    cfg.totalRefs = fullSize ? 3'508'000 : 877'000;
+
+    cfg.behavior.pInstr = 0.521;
+    cfg.behavior.pSystem = 0.076;
+    // The router's read ratio comes from the algorithm, not locks.
+    cfg.behavior.pPrivateRead = 0.72;
+
+    // Mostly independent routing work on private state; a small
+    // read-shared grid and very little synchronisation, so the
+    // fraction of shared references is much smaller than in pops or
+    // thor (the paper's explanation for pero's low bus traffic).
+    cfg.behavior.wPrivate = 0.98525;
+    cfg.behavior.wSharedRead = 0.0075;
+    cfg.behavior.wSharedWrite = 0.0045;
+    cfg.behavior.wMigratory = 0.002;
+    cfg.behavior.wLockAttempt = 0.0006;
+    cfg.behavior.nHotLocks = 1;
+    cfg.behavior.hotLockFrac = 0.50;
+    cfg.behavior.critMin = 40;
+    cfg.behavior.critMax = 100;
+    cfg.behavior.pCritProtected = 0.10;
+    cfg.behavior.pOsShared = 0.08;
+    cfg.behavior.pOsWrite = 0.18;
+
+    cfg.space.nLocks = 4;
+    cfg.space.sharedReadBlocks = 384;
+    cfg.space.migratoryObjects = 64;
+    return cfg;
+}
+
+std::vector<WorkloadConfig>
+standardWorkloads(bool fullSize)
+{
+    return {popsConfig(fullSize), thorConfig(fullSize),
+            peroConfig(fullSize)};
+}
+
+WorkloadConfig
+scaledConfig(unsigned nCpus, std::uint64_t totalRefs)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.name = "scaled" + std::to_string(nCpus);
+    cfg.seed = 0x15CA1988'1000ULL + nCpus;
+    cfg.totalRefs = totalRefs;
+    cfg.space.nCpus = nCpus;
+    cfg.space.nProcesses = nCpus;
+
+    // Shared structures grow with the machine; per-process private
+    // working sets stay fixed.
+    cfg.space.sharedReadBlocks = 128 * nCpus;
+    cfg.space.migratoryObjects = 40 * nCpus;
+    cfg.space.nLocks = std::max(4u, nCpus / 2);
+    cfg.behavior.nHotLocks = std::max(1u, nCpus / 4);
+
+    cfg.behavior.pInstr = 0.52;
+    cfg.behavior.wPrivate = 0.957;
+    cfg.behavior.wSharedRead = 0.028;
+    cfg.behavior.wSharedWrite = 0.001;
+    cfg.behavior.wMigratory = 0.007;
+    cfg.behavior.wLockAttempt = 0.007;
+    cfg.behavior.critMin = 60;
+    cfg.behavior.critMax = 160;
+    cfg.behavior.pCritProtected = 0.10;
+    return cfg;
+}
+
+} // namespace dirsim::gen

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Infinite-capacity tag store (the paper's cache model).
+ */
+
+#ifndef DIRSIM_MEM_INFINITE_HH
+#define DIRSIM_MEM_INFINITE_HH
+
+#include <unordered_set>
+
+#include "mem/tag_store.hh"
+
+namespace dirsim::mem
+{
+
+/** A cache that never evicts: misses are exactly first touches. */
+class InfiniteTagStore : public TagStore
+{
+  public:
+    TouchResult
+    touch(BlockId block) override
+    {
+        TouchResult result;
+        result.hit = !_resident.insert(block).second;
+        return result;
+    }
+
+    void invalidate(BlockId block) override { _resident.erase(block); }
+
+    bool
+    contains(BlockId block) const override
+    {
+        return _resident.count(block) != 0;
+    }
+
+    std::uint64_t size() const override { return _resident.size(); }
+
+    void clear() override { _resident.clear(); }
+
+  private:
+    std::unordered_set<BlockId> _resident;
+};
+
+} // namespace dirsim::mem
+
+#endif // DIRSIM_MEM_INFINITE_HH

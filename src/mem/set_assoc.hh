@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Finite set-associative tag store with LRU replacement.
+ */
+
+#ifndef DIRSIM_MEM_SET_ASSOC_HH
+#define DIRSIM_MEM_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/tag_store.hh"
+
+namespace dirsim::mem
+{
+
+/** Geometry of a finite cache. */
+struct CacheGeometry
+{
+    std::uint64_t capacityBytes = 64 * 1024;
+    unsigned blockBytes = 16;
+    unsigned ways = 4;
+
+    std::uint64_t
+    numSets() const
+    {
+        const std::uint64_t way_bytes =
+            static_cast<std::uint64_t>(blockBytes) * ways;
+        return way_bytes == 0 ? 0 : capacityBytes / way_bytes;
+    }
+};
+
+/**
+ * A set-associative cache directory with true-LRU replacement.
+ *
+ * Each set keeps its ways ordered most- to least-recently used; a
+ * touch moves the block to the front, a fill evicts the back.
+ */
+class SetAssocTagStore : public TagStore
+{
+  public:
+    /**
+     * @param geometry Cache shape; capacity, block size and ways must
+     *                 yield a power-of-two, nonzero set count.
+     */
+    explicit SetAssocTagStore(const CacheGeometry &geometry);
+
+    TouchResult touch(BlockId block) override;
+    void invalidate(BlockId block) override;
+    bool contains(BlockId block) const override;
+    std::uint64_t size() const override;
+    void clear() override;
+
+    const CacheGeometry &geometry() const { return _geometry; }
+
+  private:
+    struct Way
+    {
+        BlockId block = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setIndex(BlockId block) const;
+    /** Ways of one set, MRU first. */
+    Way *setBase(std::uint64_t set);
+    const Way *setBase(std::uint64_t set) const;
+
+    CacheGeometry _geometry;
+    std::uint64_t _numSets;
+    std::uint64_t _setMask;
+    std::vector<Way> _ways;
+    std::uint64_t _resident = 0;
+};
+
+} // namespace dirsim::mem
+
+#endif // DIRSIM_MEM_SET_ASSOC_HH

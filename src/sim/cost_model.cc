@@ -1,0 +1,369 @@
+#include "sim/cost_model.hh"
+
+#include <stdexcept>
+
+namespace dirsim::sim
+{
+
+using coherence::EngineResults;
+using coherence::Event;
+
+namespace
+{
+
+/** Frequency helpers over one engine run. */
+struct Freq
+{
+    explicit Freq(const EngineResults &results) : r(results)
+    {
+        refs = static_cast<double>(r.events.totalRefs());
+    }
+
+    double
+    f(Event event) const
+    {
+        return refs == 0.0
+                   ? 0.0
+                   : static_cast<double>(r.events.count(event)) / refs;
+    }
+
+    double
+    scale(std::uint64_t count) const
+    {
+        return refs == 0.0 ? 0.0
+                           : static_cast<double>(count) / refs;
+    }
+
+    /** Chargeable (non-first-reference) read misses. */
+    double
+    rm() const
+    {
+        return f(Event::RmBlkCln) + f(Event::RmBlkDrty) +
+               f(Event::RmMemory);
+    }
+
+    /** Chargeable write misses. */
+    double
+    wm() const
+    {
+        return f(Event::WmBlkCln) + f(Event::WmBlkDrty) +
+               f(Event::WmMemory);
+    }
+
+    /** Misses that read main memory (block clean or uncached). */
+    double
+    missFromMemory() const
+    {
+        return f(Event::RmBlkCln) + f(Event::RmMemory) +
+               f(Event::WmBlkCln) + f(Event::WmMemory);
+    }
+
+    /** Misses serviced by a dirty remote copy's write-back. */
+    double
+    missFromDirty() const
+    {
+        return f(Event::RmBlkDrty) + f(Event::WmBlkDrty);
+    }
+
+    /** Write hits to clean blocks (standalone directory checks). */
+    double
+    whCln() const
+    {
+        return f(Event::WhBlkClnExcl) + f(Event::WhBlkClnShared);
+    }
+
+    const EngineResults &r;
+    double refs;
+};
+
+/**
+ * Invalidation cycles for the pointer-based schemes: each event
+ * invalidating k copies costs k directed cycles while k <= limit,
+ * otherwise a broadcast at @p broadcastCost.  limit = UINT_MAX gives
+ * pure sequential invalidation (DirnNB).
+ */
+double
+pointerInvalCycles(const stats::Histogram &hist, unsigned limit,
+                   double directedCost, double broadcastCost)
+{
+    double cycles = 0.0;
+    for (std::size_t k = 0; k <= hist.maxValue(); ++k) {
+        const auto count = static_cast<double>(hist.count(k));
+        if (count == 0.0)
+            continue;
+        if (k <= limit)
+            cycles += count * static_cast<double>(k) * directedCost;
+        else
+            cycles += count * broadcastCost;
+    }
+    return cycles;
+}
+
+} // namespace
+
+EngineKind
+engineKindFor(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Dir1NB:
+      case Scheme::DirINB:
+        return EngineKind::Limited;
+      case Scheme::Dragon:
+        return EngineKind::Dragon;
+      default:
+        return EngineKind::Inval;
+    }
+}
+
+std::string
+schemeName(Scheme scheme, unsigned nPointers)
+{
+    switch (scheme) {
+      case Scheme::Dir1NB:
+        return "Dir1NB";
+      case Scheme::DirINB:
+        return "Dir" + std::to_string(nPointers) + "NB";
+      case Scheme::Dir0B:
+        return "Dir0B";
+      case Scheme::DirNNBSeq:
+        return "DirnNB";
+      case Scheme::DirIB:
+        return "Dir" + std::to_string(nPointers) + "B";
+      case Scheme::WTI:
+        return "WTI";
+      case Scheme::Dragon:
+        return "Dragon";
+      case Scheme::Berkeley:
+        return "Berkeley";
+      case Scheme::YenFu:
+        return "Yen-Fu";
+      case Scheme::BerkeleyOwn:
+        return "Berkeley (own)";
+      case Scheme::MESI:
+        return "MESI";
+    }
+    return "?";
+}
+
+double
+CostBreakdown::total() const
+{
+    return memAccess + cacheAccess + writeBack + writeWord + dirCheck +
+           invalidate + overhead;
+}
+
+double
+CostBreakdown::perTransaction() const
+{
+    return transactionsPerRef == 0.0 ? 0.0
+                                     : total() / transactionsPerRef;
+}
+
+namespace
+{
+
+/** Scheme-specific charging; tail costs (replacement write-backs and
+ *  q-overhead) are added by computeCost. */
+CostBreakdown
+computeCore(Scheme scheme, const EngineResults &results,
+            const bus::BusCosts &bus, const CostOptions &opts)
+{
+    const Freq fr(results);
+    CostBreakdown cost;
+    cost.scheme = schemeName(scheme, opts.nPointers);
+    cost.bus = bus.name;
+
+    const double inv = bus.invalidate;
+
+    switch (scheme) {
+      case Scheme::Dir1NB:
+      case Scheme::DirINB: {
+        const unsigned i =
+            scheme == Scheme::Dir1NB ? 1 : opts.nPointers;
+        cost.memAccess = fr.missFromMemory() * bus.memoryAccess +
+                         fr.missFromDirty() * bus.requestAddress;
+        cost.writeBack = fr.missFromDirty() * bus.writeBack;
+        // Directed invalidations: the dirty copy on a flush, every
+        // clean copy on a write, and pointer displacements on fills.
+        cost.invalidate =
+            (fr.missFromDirty() +
+             fr.scale(results.wmClnFanout.totalWeight()) +
+             fr.scale(results.whClnFanout.totalWeight()) +
+             fr.scale(results.displacementInvals)) *
+            inv;
+        // With a single pointer a cached block is exclusive by
+        // construction, so write hits are free; with more pointers a
+        // clean write hit must consult the directory.
+        if (i >= 2)
+            cost.dirCheck = fr.whCln() * bus.directoryCheck;
+        cost.transactionsPerRef =
+            fr.rm() + fr.wm() + (i >= 2 ? fr.whCln() : 0.0);
+        break;
+      }
+
+      case Scheme::Dir0B: {
+        cost.memAccess = fr.missFromMemory() * bus.memoryAccess +
+                         fr.missFromDirty() * bus.requestAddress;
+        cost.writeBack = fr.missFromDirty() * bus.writeBack;
+        // Broadcast invalidates cost one bus cycle, like a single
+        // invalidate (Section 4.3's simplifying assumption).  The
+        // "clean in exactly one cache" state suppresses the broadcast
+        // on exclusive write hits.
+        cost.invalidate = (fr.f(Event::WmBlkCln) +
+                           fr.f(Event::WmBlkDrty) +
+                           fr.f(Event::WhBlkClnShared)) *
+                          inv;
+        cost.dirCheck = fr.whCln() * bus.directoryCheck;
+        cost.transactionsPerRef = fr.rm() + fr.wm() + fr.whCln();
+        break;
+      }
+
+      case Scheme::DirNNBSeq: {
+        cost.memAccess = fr.missFromMemory() * bus.memoryAccess +
+                         fr.missFromDirty() * bus.requestAddress;
+        cost.writeBack = fr.missFromDirty() * bus.writeBack;
+        // One directed message per actual copy.
+        cost.invalidate =
+            (fr.scale(results.whClnFanout.totalWeight()) +
+             fr.scale(results.wmClnFanout.totalWeight()) +
+             fr.f(Event::WmBlkDrty)) *
+            inv;
+        cost.dirCheck = fr.whCln() * bus.directoryCheck;
+        cost.transactionsPerRef = fr.rm() + fr.wm() + fr.whCln();
+        break;
+      }
+
+      case Scheme::DirIB: {
+        cost.memAccess = fr.missFromMemory() * bus.memoryAccess +
+                         fr.missFromDirty() * bus.requestAddress;
+        cost.writeBack = fr.missFromDirty() * bus.writeBack;
+        // Directed while the pointers suffice; broadcast (b cycles)
+        // once the copy count exceeded i.
+        const double directed_cycles =
+            pointerInvalCycles(results.whClnFanout, opts.nPointers,
+                               inv, opts.broadcastCost) +
+            pointerInvalCycles(results.wmClnFanout, opts.nPointers,
+                               inv, opts.broadcastCost);
+        cost.invalidate =
+            (fr.refs == 0.0 ? 0.0 : directed_cycles / fr.refs) +
+            fr.f(Event::WmBlkDrty) * inv;
+        cost.dirCheck = fr.whCln() * bus.directoryCheck;
+        cost.transactionsPerRef = fr.rm() + fr.wm() + fr.whCln();
+        break;
+      }
+
+      case Scheme::WTI: {
+        // Write-through keeps memory current: every miss is serviced
+        // by memory and every write crosses the bus; snooping does the
+        // invalidation for free.
+        const double writes =
+            fr.scale(results.events.writes());
+        cost.memAccess = (fr.rm() + fr.wm()) * bus.memoryAccess;
+        cost.writeWord = writes * bus.writeWord;
+        cost.transactionsPerRef = fr.rm() + fr.wm() + writes;
+        break;
+      }
+
+      case Scheme::Dragon: {
+        cost.memAccess = fr.missFromMemory() * bus.memoryAccess;
+        cost.cacheAccess = fr.missFromDirty() * bus.cacheAccess;
+        cost.writeWord = (fr.f(Event::WhDistrib) +
+                          fr.f(Event::WmBlkCln) +
+                          fr.f(Event::WmBlkDrty)) *
+                         bus.writeWord;
+        cost.transactionsPerRef =
+            fr.rm() + fr.wm() + fr.f(Event::WhDistrib);
+        break;
+      }
+
+      case Scheme::Berkeley: {
+        // Dir0B with the directory probe priced at zero: the block's
+        // cached state already says whether an invalidation is needed.
+        cost = computeCore(Scheme::Dir0B, results, bus, opts);
+        cost.scheme = schemeName(scheme, opts.nPointers);
+        cost.dirCheck = 0.0;
+        // Exclusive clean write hits no longer touch the bus at all.
+        cost.transactionsPerRef = fr.rm() + fr.wm() +
+                                  fr.f(Event::WhBlkClnShared);
+        break;
+      }
+
+      case Scheme::YenFu: {
+        cost = computeCore(Scheme::Dir0B, results, bus, opts);
+        cost.scheme = schemeName(scheme, opts.nPointers);
+        // The single bit answers the exclusive-clean case locally...
+        cost.dirCheck =
+            fr.f(Event::WhBlkClnShared) * bus.directoryCheck;
+        // ...but keeping single bits current costs a bus word per
+        // 1 -> 2 holder transition.
+        cost.writeWord += fr.scale(results.holderGrowth12) *
+                          bus.writeWord;
+        cost.transactionsPerRef = fr.rm() + fr.wm() +
+                                  fr.f(Event::WhBlkClnShared) +
+                                  fr.scale(results.holderGrowth12);
+        break;
+      }
+
+      case Scheme::BerkeleyOwn: {
+        // Misses to cached blocks are supplied by the owning/holding
+        // cache; memory is read only when no cache has a copy.
+        cost.memAccess = (fr.f(Event::RmMemory) +
+                          fr.f(Event::WmMemory) +
+                          fr.f(Event::RmBlkCln) +
+                          fr.f(Event::WmBlkCln)) *
+                         bus.memoryAccess;
+        cost.cacheAccess = fr.missFromDirty() * bus.cacheAccess;
+        // Any write to a block with possible other copies broadcasts
+        // one invalidate; the cache's own state replaces the
+        // directory probe.
+        cost.invalidate = (fr.whCln() + fr.f(Event::WmBlkCln) +
+                           fr.f(Event::WmBlkDrty)) *
+                          inv;
+        cost.transactionsPerRef = fr.rm() + fr.wm() + fr.whCln();
+        break;
+      }
+
+      case Scheme::MESI: {
+        // Illinois: cache-to-cache supply whenever a copy exists; a
+        // dirty supply also updates memory (flush + snarf).
+        cost.memAccess = (fr.f(Event::RmMemory) +
+                          fr.f(Event::WmMemory)) *
+                             bus.memoryAccess +
+                         fr.missFromDirty() * bus.requestAddress;
+        cost.cacheAccess = (fr.f(Event::RmBlkCln) +
+                            fr.f(Event::WmBlkCln)) *
+                           bus.cacheAccess;
+        cost.writeBack = fr.missFromDirty() * bus.writeBack;
+        // The exclusive-clean state makes exclusive write hits
+        // silent; shared write hits broadcast one invalidate.
+        cost.invalidate = (fr.f(Event::WhBlkClnShared) +
+                           fr.f(Event::WmBlkCln) +
+                           fr.f(Event::WmBlkDrty)) *
+                          inv;
+        cost.transactionsPerRef =
+            fr.rm() + fr.wm() + fr.f(Event::WhBlkClnShared);
+        break;
+      }
+    }
+
+    return cost;
+}
+
+} // namespace
+
+CostBreakdown
+computeCost(Scheme scheme, const EngineResults &results,
+            const bus::BusCosts &bus, const CostOptions &opts)
+{
+    const Freq fr(results);
+    CostBreakdown cost = computeCore(scheme, results, bus, opts);
+
+    // Finite-cache extension: replacement write-backs use the bus.
+    cost.writeBack +=
+        fr.scale(results.replacementWriteBacks) * bus.writeBack;
+
+    cost.overhead = cost.transactionsPerRef * opts.overheadQ;
+    return cost;
+}
+
+} // namespace dirsim::sim

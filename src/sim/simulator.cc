@@ -1,0 +1,50 @@
+#include "sim/simulator.hh"
+
+#include <stdexcept>
+
+namespace dirsim::sim
+{
+
+Simulator::Simulator(const SimConfig &cfg) : _cfg(cfg) {}
+
+coherence::CoherenceEngine &
+Simulator::addEngine(std::unique_ptr<coherence::CoherenceEngine> engine)
+{
+    _engines.push_back(std::move(engine));
+    return *_engines.back();
+}
+
+unsigned
+Simulator::mapUnit(const trace::TraceRecord &rec)
+{
+    const unsigned key = _cfg.domain == SharingDomain::Process
+                             ? rec.pid
+                             : rec.cpu;
+    auto [it, inserted] =
+        _unitMap.try_emplace(key, static_cast<unsigned>(_unitMap.size()));
+    return it->second;
+}
+
+std::uint64_t
+Simulator::run(trace::RefSource &source)
+{
+    std::uint64_t processed = 0;
+    trace::TraceRecord rec;
+    while (source.next(rec)) {
+        const unsigned unit = mapUnit(rec);
+        for (auto &engine : _engines) {
+            if (unit >= engine->numUnits()) {
+                throw std::runtime_error(
+                    "Simulator: trace uses more sharing units than "
+                    "engine '" + engine->results().name +
+                    "' supports");
+            }
+            engine->access(unit, rec.type,
+                           mem::blockId(rec.addr, _cfg.blockBytes));
+        }
+        ++processed;
+    }
+    return processed;
+}
+
+} // namespace dirsim::sim

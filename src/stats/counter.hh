@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simple event counters and derived ratios.
+ *
+ * The simulator accumulates raw event counts during a trace run and
+ * converts them to per-reference frequencies afterwards.  Counter is a
+ * thin wrapper over a 64-bit integer that makes the accumulate /
+ * normalise split explicit in signatures.
+ */
+
+#ifndef DIRSIM_STATS_COUNTER_HH
+#define DIRSIM_STATS_COUNTER_HH
+
+#include <cstdint>
+
+namespace dirsim::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add one occurrence. */
+    void operator++() { ++_value; }
+    /** Add @p n occurrences. */
+    void add(std::uint64_t n) { _value += n; }
+    /** Merge another counter into this one. */
+    void merge(const Counter &other) { _value += other._value; }
+    /** Reset to zero. */
+    void reset() { _value = 0; }
+
+    /** Raw count. */
+    std::uint64_t value() const { return _value; }
+
+    /**
+     * Frequency of this event relative to a denominator.
+     *
+     * @param total The denominator (e.g.\ total references).
+     * @return value()/total, or 0 when total is zero.
+     */
+    double
+    frac(std::uint64_t total) const
+    {
+        return total == 0 ? 0.0 : static_cast<double>(_value) /
+                                      static_cast<double>(total);
+    }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+} // namespace dirsim::stats
+
+#endif // DIRSIM_STATS_COUNTER_HH

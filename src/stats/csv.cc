@@ -1,0 +1,35 @@
+#include "stats/csv.hh"
+
+namespace dirsim::stats
+{
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c != 0)
+            _os << ',';
+        _os << escape(cells[c]);
+    }
+    _os << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace dirsim::stats

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal CSV emitter.
+ *
+ * Benches can dump every reproduced exhibit as CSV alongside the text
+ * rendering so results are easy to plot externally.
+ */
+
+#ifndef DIRSIM_STATS_CSV_HH
+#define DIRSIM_STATS_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dirsim::stats
+{
+
+/** Writes RFC-4180-style CSV rows to an ostream. */
+class CsvWriter
+{
+  public:
+    /** @param os Destination stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream &os) : _os(os) {}
+
+    /** Write one row, quoting cells that need it. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Quote a cell per RFC 4180 if it contains , " or newline. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &_os;
+};
+
+} // namespace dirsim::stats
+
+#endif // DIRSIM_STATS_CSV_HH

@@ -1,0 +1,50 @@
+#include "stats/distribution.hh"
+
+#include <cmath>
+
+namespace dirsim::stats
+{
+
+void
+Distribution::sample(double value)
+{
+    if (_count == 0) {
+        _min = value;
+        _max = value;
+    } else {
+        if (value < _min)
+            _min = value;
+        if (value > _max)
+            _max = value;
+    }
+    ++_count;
+    const double delta = value - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (value - _mean);
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _min = 0.0;
+    _max = 0.0;
+    _mean = 0.0;
+    _m2 = 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (_count == 0)
+        return 0.0;
+    return _m2 / static_cast<double>(_count);
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace dirsim::stats

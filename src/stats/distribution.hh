@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Running scalar distribution (min / max / mean / stddev).
+ *
+ * Uses Welford's online algorithm so the variance is numerically stable
+ * for long runs.
+ */
+
+#ifndef DIRSIM_STATS_DISTRIBUTION_HH
+#define DIRSIM_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+
+namespace dirsim::stats
+{
+
+/** Streaming summary statistics over double-valued samples. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void sample(double value);
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _mean : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t _count = 0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+};
+
+} // namespace dirsim::stats
+
+#endif // DIRSIM_STATS_DISTRIBUTION_HH

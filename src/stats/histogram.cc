@@ -1,0 +1,111 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dirsim::stats
+{
+
+void
+Histogram::sample(std::size_t value)
+{
+    sample(value, 1);
+}
+
+void
+Histogram::sample(std::size_t value, std::uint64_t count)
+{
+    if (value >= _buckets.size())
+        _buckets.resize(value + 1, 0);
+    _buckets[value] += count;
+    _totalSamples += count;
+    _totalWeight += value * count;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other._buckets.size() > _buckets.size())
+        _buckets.resize(other._buckets.size(), 0);
+    for (std::size_t v = 0; v < other._buckets.size(); ++v)
+        _buckets[v] += other._buckets[v];
+    _totalSamples += other._totalSamples;
+    _totalWeight += other._totalWeight;
+}
+
+void
+Histogram::reset()
+{
+    _buckets.clear();
+    _totalSamples = 0;
+    _totalWeight = 0;
+}
+
+std::uint64_t
+Histogram::count(std::size_t value) const
+{
+    return value < _buckets.size() ? _buckets[value] : 0;
+}
+
+std::size_t
+Histogram::maxValue() const
+{
+    for (std::size_t v = _buckets.size(); v-- > 0;) {
+        if (_buckets[v] != 0)
+            return v;
+    }
+    return 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (_totalSamples == 0)
+        return 0.0;
+    return static_cast<double>(_totalWeight) /
+           static_cast<double>(_totalSamples);
+}
+
+double
+Histogram::frac(std::size_t value) const
+{
+    if (_totalSamples == 0)
+        return 0.0;
+    return static_cast<double>(count(value)) /
+           static_cast<double>(_totalSamples);
+}
+
+double
+Histogram::fracAtMost(std::size_t value) const
+{
+    if (_totalSamples == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    const std::size_t last = std::min(value + 1, _buckets.size());
+    for (std::size_t v = 0; v < last; ++v)
+        acc += _buckets[v];
+    return static_cast<double>(acc) / static_cast<double>(_totalSamples);
+}
+
+std::uint64_t
+Histogram::excessOver(std::size_t threshold) const
+{
+    std::uint64_t excess = 0;
+    for (std::size_t v = threshold + 1; v < _buckets.size(); ++v)
+        excess += (v - threshold) * _buckets[v];
+    return excess;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    const std::size_t top = maxValue();
+    for (std::size_t v = 0; v <= top; ++v) {
+        os << v << ": " << count(v) << " ("
+           << 100.0 * frac(v) << "%)\n";
+    }
+    return os.str();
+}
+
+} // namespace dirsim::stats

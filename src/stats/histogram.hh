@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Integer-bucketed histogram.
+ *
+ * Used throughout the simulator for invalidation-fanout distributions
+ * (Figure 1 of the paper) and similar small-integer-valued statistics.
+ * Buckets grow on demand; bucket index equals the sample value.
+ */
+
+#ifndef DIRSIM_STATS_HISTOGRAM_HH
+#define DIRSIM_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dirsim::stats
+{
+
+/** A histogram over non-negative integer sample values. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one sample with value @p value. */
+    void sample(std::size_t value);
+    /** Record @p count samples with value @p value. */
+    void sample(std::size_t value, std::uint64_t count);
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+    /** Discard all samples. */
+    void reset();
+
+    /** Total number of samples recorded. */
+    std::uint64_t totalSamples() const { return _totalSamples; }
+    /** Sum of all sample values (for means of fanouts etc.). */
+    std::uint64_t totalWeight() const { return _totalWeight; }
+    /** Number of samples with value exactly @p value. */
+    std::uint64_t count(std::size_t value) const;
+    /** Largest sample value seen (0 if empty). */
+    std::size_t maxValue() const;
+
+    /** Mean sample value (0 if empty). */
+    double mean() const;
+    /** Fraction of samples with value exactly @p value. */
+    double frac(std::size_t value) const;
+    /** Fraction of samples with value less than or equal to @p value. */
+    double fracAtMost(std::size_t value) const;
+    /**
+     * Sum over samples of max(value - threshold, 0).
+     *
+     * This is the number of *extra* sequential operations incurred when
+     * a broadcast that would have cost one message is replaced by one
+     * message per destination (Section 6 of the paper).
+     */
+    std::uint64_t excessOver(std::size_t threshold) const;
+
+    /** Render as "value: count (frac%)" lines, values 0..maxValue(). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _totalSamples = 0;
+    std::uint64_t _totalWeight = 0;
+};
+
+} // namespace dirsim::stats
+
+#endif // DIRSIM_STATS_HISTOGRAM_HH

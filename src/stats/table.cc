@@ -1,0 +1,103 @@
+#include "stats/table.hh"
+
+#include "stats/csv.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace dirsim::stats
+{
+
+TextTable::TextTable(std::string title, std::vector<std::string> headers)
+    : _title(std::move(title)), _headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(_headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    _rows.emplace_back();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> widths(_headers.size(), 0);
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream os;
+    os << _title << "\n";
+    os << std::string(total, '=') << "\n";
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            // Left-align the first column (labels), right-align the
+            // numeric columns.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << cells[c]
+               << "  ";
+        }
+        os << "\n";
+    };
+    emit_row(_headers);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows) {
+        if (row.empty())
+            os << std::string(total, '-') << "\n";
+        else
+            emit_row(row);
+    }
+    return os.str();
+}
+
+std::string
+TextTable::toCsv() const
+{
+    std::ostringstream os;
+    os << "# " << _title << "\n";
+    CsvWriter csv(os);
+    csv.writeRow(_headers);
+    for (const auto &row : _rows) {
+        if (!row.empty())
+            csv.writeRow(row);
+    }
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double frac, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << 100.0 * frac;
+    return os.str();
+}
+
+} // namespace dirsim::stats

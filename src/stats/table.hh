@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text table formatter.
+ *
+ * The benchmark harness reprints every table and figure of the paper as
+ * aligned text; this class owns the column sizing and number formatting
+ * so every exhibit renders consistently.
+ */
+
+#ifndef DIRSIM_STATS_TABLE_HH
+#define DIRSIM_STATS_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dirsim::stats
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /**
+     * @param title Table caption printed above the body.
+     * @param headers Column headers; fixes the column count.
+     */
+    TextTable(std::string title, std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells; padded/truncated to fit. */
+    void addRow(std::vector<std::string> cells);
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render the table, including title and header rule. */
+    std::string toString() const;
+
+    /**
+     * Render as CSV (header row + data rows; separators skipped).
+     * The title becomes a leading comment line ("# title").
+     */
+    std::string toCsv() const;
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double value, int decimals = 4);
+    /** Format a value as a percentage with @p decimals digits. */
+    static std::string pct(double frac, int decimals = 2);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _headers;
+    /** Empty vector encodes a separator row. */
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace dirsim::stats
+
+#endif // DIRSIM_STATS_TABLE_HH

@@ -1,0 +1,86 @@
+#include "trace/characterize.hh"
+
+#include <unordered_map>
+
+namespace dirsim::trace
+{
+
+double
+TraceCharacteristics::readWriteRatio() const
+{
+    if (dataWrites == 0)
+        return 0.0;
+    return static_cast<double>(dataReads) /
+           static_cast<double>(dataWrites);
+}
+
+double
+TraceCharacteristics::lockTestReadFrac() const
+{
+    if (dataReads == 0)
+        return 0.0;
+    return static_cast<double>(lockTestReads) /
+           static_cast<double>(dataReads);
+}
+
+TraceCharacteristics
+characterize(RefSource &source, const std::string &name,
+             unsigned blockBytes)
+{
+    TraceCharacteristics ch;
+    ch.name = name;
+
+    // Per data block: the first process to touch it, or 0xffff once a
+    // second process has been seen (the block is then "shared").
+    struct BlockInfo
+    {
+        std::uint16_t firstPid = 0;
+        bool shared = false;
+        std::uint64_t refs = 0;
+        std::uint64_t writes = 0;
+    };
+    std::unordered_map<std::uint64_t, BlockInfo> blocks;
+
+    TraceRecord rec;
+    while (source.next(rec)) {
+        ++ch.refs;
+        if (rec.isSystem())
+            ++ch.system;
+        else
+            ++ch.user;
+        if (rec.isInstr()) {
+            ++ch.instr;
+            continue;
+        }
+        if (rec.isRead()) {
+            ++ch.dataReads;
+            if (rec.isLockTest())
+                ++ch.lockTestReads;
+        } else {
+            ++ch.dataWrites;
+        }
+
+        const std::uint64_t block = rec.addr / blockBytes;
+        auto [it, inserted] = blocks.try_emplace(block);
+        BlockInfo &info = it->second;
+        if (inserted)
+            info.firstPid = rec.pid;
+        else if (!info.shared && info.firstPid != rec.pid)
+            info.shared = true;
+        ++info.refs;
+        if (rec.isWrite())
+            ++info.writes;
+    }
+
+    ch.uniqueDataBlocks = blocks.size();
+    for (const auto &[block, info] : blocks) {
+        if (info.shared) {
+            ++ch.sharedDataBlocks;
+            ch.refsToSharedBlocks += info.refs;
+            ch.writesToSharedBlocks += info.writes;
+        }
+    }
+    return ch;
+}
+
+} // namespace dirsim::trace

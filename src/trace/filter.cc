@@ -1,0 +1,43 @@
+#include "trace/filter.hh"
+
+namespace dirsim::trace
+{
+
+bool
+FilteredSource::next(TraceRecord &record)
+{
+    TraceRecord candidate;
+    while (_inner.next(candidate)) {
+        if (_keep(candidate)) {
+            record = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+FilteredSource
+dropLockTests(RefSource &inner)
+{
+    return FilteredSource(inner, [](const TraceRecord &rec) {
+        return !rec.isLockTest();
+    });
+}
+
+FilteredSource
+dropInstructions(RefSource &inner)
+{
+    return FilteredSource(inner, [](const TraceRecord &rec) {
+        return rec.isData();
+    });
+}
+
+FilteredSource
+dropSystemRefs(RefSource &inner)
+{
+    return FilteredSource(inner, [](const TraceRecord &rec) {
+        return !rec.isSystem();
+    });
+}
+
+} // namespace dirsim::trace

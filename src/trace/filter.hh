@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Record filters over RefSources.
+ *
+ * Section 5.2 of the paper reruns the whole evaluation "excluding all
+ * the tests on locks"; dropLockTests() reproduces that experiment.  The
+ * generic predicate filter supports ad-hoc studies (user-only traces,
+ * single-CPU slices, and so on).
+ */
+
+#ifndef DIRSIM_TRACE_FILTER_HH
+#define DIRSIM_TRACE_FILTER_HH
+
+#include <functional>
+#include <utility>
+
+#include "trace/ref_source.hh"
+
+namespace dirsim::trace
+{
+
+/** Passes through only records matching a predicate. */
+class FilteredSource : public RefSource
+{
+  public:
+    using Predicate = std::function<bool(const TraceRecord &)>;
+
+    /**
+     * @param inner Upstream source; must outlive the filter.
+     * @param keep Predicate returning true for records to pass through.
+     */
+    FilteredSource(RefSource &inner, Predicate keep)
+        : _inner(inner), _keep(std::move(keep))
+    {
+    }
+
+    bool next(TraceRecord &record) override;
+    void rewind() override { _inner.rewind(); }
+
+  private:
+    RefSource &_inner;
+    Predicate _keep;
+};
+
+/** Drop spin-lock test reads (the Section 5.2 experiment). */
+FilteredSource dropLockTests(RefSource &inner);
+/** Drop instruction fetches, leaving only data references. */
+FilteredSource dropInstructions(RefSource &inner);
+/** Drop operating-system references, leaving user activity only. */
+FilteredSource dropSystemRefs(RefSource &inner);
+
+} // namespace dirsim::trace
+
+#endif // DIRSIM_TRACE_FILTER_HH

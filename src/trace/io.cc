@@ -1,0 +1,227 @@
+#include "trace/io.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dirsim::trace
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> binaryMagic = {'D', 'S', 'T', 'R'};
+constexpr std::uint32_t binaryVersion = 1;
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readRaw(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!is)
+        throw std::runtime_error("trace: truncated binary stream");
+    return value;
+}
+
+char
+typeChar(RefType type)
+{
+    switch (type) {
+      case RefType::Instr:
+        return 'I';
+      case RefType::Read:
+        return 'R';
+      case RefType::Write:
+        return 'W';
+    }
+    return '?';
+}
+
+RefType
+typeFromChar(char ch)
+{
+    switch (ch) {
+      case 'I':
+        return RefType::Instr;
+      case 'R':
+        return RefType::Read;
+      case 'W':
+        return RefType::Write;
+      default:
+        throw std::runtime_error(
+            std::string("trace: bad reference type '") + ch + "'");
+    }
+}
+
+} // namespace
+
+void
+writeBinary(const MemoryTrace &trace, std::ostream &os)
+{
+    os.write(binaryMagic.data(), binaryMagic.size());
+    writeRaw(os, binaryVersion);
+    writeRaw(os, static_cast<std::uint32_t>(trace.meta().nCpus));
+    writeRaw(os, static_cast<std::uint32_t>(trace.meta().nProcesses));
+    const std::string &name = trace.meta().name;
+    writeRaw(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    writeRaw(os, static_cast<std::uint64_t>(trace.meta().lockAddrs.size()));
+    for (std::uint64_t addr : trace.meta().lockAddrs)
+        writeRaw(os, addr);
+    writeRaw(os, static_cast<std::uint64_t>(trace.size()));
+    for (const TraceRecord &rec : trace.records()) {
+        writeRaw(os, rec.addr);
+        writeRaw(os, rec.pid);
+        writeRaw(os, rec.cpu);
+        writeRaw(os, static_cast<std::uint8_t>(rec.type));
+        writeRaw(os, rec.flags);
+        const std::array<char, 3> pad = {0, 0, 0};
+        os.write(pad.data(), pad.size());
+    }
+    if (!os)
+        throw std::runtime_error("trace: binary write failed");
+}
+
+MemoryTrace
+readBinary(std::istream &is)
+{
+    std::array<char, 4> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != binaryMagic)
+        throw std::runtime_error("trace: bad binary magic");
+    const auto version = readRaw<std::uint32_t>(is);
+    if (version != binaryVersion)
+        throw std::runtime_error("trace: unsupported binary version");
+
+    TraceMeta meta;
+    meta.nCpus = readRaw<std::uint32_t>(is);
+    meta.nProcesses = readRaw<std::uint32_t>(is);
+    const auto name_len = readRaw<std::uint32_t>(is);
+    meta.name.resize(name_len);
+    is.read(meta.name.data(), name_len);
+    if (!is)
+        throw std::runtime_error("trace: truncated binary stream");
+    const auto n_locks = readRaw<std::uint64_t>(is);
+    for (std::uint64_t i = 0; i < n_locks; ++i)
+        meta.lockAddrs.insert(readRaw<std::uint64_t>(is));
+
+    MemoryTrace trace(std::move(meta));
+    const auto n_records = readRaw<std::uint64_t>(is);
+    // Pre-size, but never trust a (possibly corrupt) record count
+    // with an unbounded allocation: a truncated stream throws on the
+    // first missing record anyway.
+    trace.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(n_records, 1u << 20)));
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+        TraceRecord rec;
+        rec.addr = readRaw<std::uint64_t>(is);
+        rec.pid = readRaw<std::uint16_t>(is);
+        rec.cpu = readRaw<std::uint8_t>(is);
+        const auto type = readRaw<std::uint8_t>(is);
+        if (type > static_cast<std::uint8_t>(RefType::Write))
+            throw std::runtime_error("trace: bad reference type byte");
+        rec.type = static_cast<RefType>(type);
+        rec.flags = readRaw<std::uint8_t>(is);
+        std::array<char, 3> pad{};
+        is.read(pad.data(), pad.size());
+        trace.append(rec);
+    }
+    if (!is)
+        throw std::runtime_error("trace: truncated binary stream");
+    return trace;
+}
+
+void
+writeText(const MemoryTrace &trace, std::ostream &os)
+{
+    os << "# name " << trace.meta().name << "\n";
+    os << "# ncpus " << trace.meta().nCpus << "\n";
+    os << "# nprocesses " << trace.meta().nProcesses << "\n";
+    for (std::uint64_t addr : trace.meta().lockAddrs)
+        os << "# lock 0x" << std::hex << addr << std::dec << "\n";
+    for (const TraceRecord &rec : trace.records()) {
+        os << static_cast<unsigned>(rec.cpu) << ' ' << rec.pid << ' '
+           << typeChar(rec.type) << " 0x" << std::hex << rec.addr
+           << std::dec << ' ' << static_cast<unsigned>(rec.flags)
+           << "\n";
+    }
+}
+
+MemoryTrace
+readText(std::istream &is)
+{
+    MemoryTrace trace;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream ls(line.substr(1));
+            std::string key;
+            ls >> key;
+            if (key == "name") {
+                ls >> trace.meta().name;
+            } else if (key == "ncpus") {
+                ls >> trace.meta().nCpus;
+            } else if (key == "nprocesses") {
+                ls >> trace.meta().nProcesses;
+            } else if (key == "lock") {
+                std::uint64_t addr = 0;
+                ls >> std::hex >> addr;
+                trace.meta().lockAddrs.insert(addr);
+            }
+            continue;
+        }
+        std::istringstream ls(line);
+        unsigned cpu = 0;
+        unsigned pid = 0;
+        char type_ch = '?';
+        std::uint64_t addr = 0;
+        unsigned flags = 0;
+        ls >> cpu >> pid >> type_ch >> std::hex >> addr >> std::dec >>
+            flags;
+        if (ls.fail())
+            throw std::runtime_error("trace: bad text record: " + line);
+        TraceRecord rec;
+        rec.cpu = static_cast<std::uint8_t>(cpu);
+        rec.pid = static_cast<std::uint16_t>(pid);
+        rec.type = typeFromChar(type_ch);
+        rec.addr = addr;
+        rec.flags = static_cast<std::uint8_t>(flags);
+        trace.append(rec);
+    }
+    return trace;
+}
+
+void
+saveBinaryFile(const MemoryTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("trace: cannot open for write: " + path);
+    writeBinary(trace, os);
+}
+
+MemoryTrace
+loadBinaryFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("trace: cannot open for read: " + path);
+    return readBinary(is);
+}
+
+} // namespace dirsim::trace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace serialisation: a compact binary format and a readable text
+ * format.
+ *
+ * Binary layout (little-endian):
+ *   magic "DSTR" | u32 version | u32 nCpus | u32 nProcesses |
+ *   u32 nameLen | name bytes | u64 nLocks | nLocks * u64 lockAddr |
+ *   u64 nRecords | nRecords * { u64 addr, u16 pid, u8 cpu, u8 type,
+ *                               u8 flags, u8 pad[3] }
+ *
+ * Text format: one "# key value" header line per metadata field, then
+ * one record per line: "<cpu> <pid> <I|R|W> <hex addr> <flags>".
+ */
+
+#ifndef DIRSIM_TRACE_IO_HH
+#define DIRSIM_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace dirsim::trace
+{
+
+/** Serialise @p trace to @p os in the binary format. */
+void writeBinary(const MemoryTrace &trace, std::ostream &os);
+/**
+ * Parse a binary trace from @p is.
+ * @throws std::runtime_error on malformed input.
+ */
+MemoryTrace readBinary(std::istream &is);
+
+/** Serialise @p trace to @p os in the text format. */
+void writeText(const MemoryTrace &trace, std::ostream &os);
+/**
+ * Parse a text trace from @p is.
+ * @throws std::runtime_error on malformed input.
+ */
+MemoryTrace readText(std::istream &is);
+
+/** Convenience file wrappers; throw std::runtime_error on I/O error. */
+void saveBinaryFile(const MemoryTrace &trace, const std::string &path);
+MemoryTrace loadBinaryFile(const std::string &path);
+
+} // namespace dirsim::trace
+
+#endif // DIRSIM_TRACE_IO_HH

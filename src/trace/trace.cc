@@ -1,0 +1,27 @@
+#include "trace/trace.hh"
+
+namespace dirsim::trace
+{
+
+std::size_t
+MemoryTrace::fillFrom(RefSource &source, std::size_t limit)
+{
+    std::size_t added = 0;
+    TraceRecord record;
+    while ((limit == 0 || added < limit) && source.next(record)) {
+        _records.push_back(record);
+        ++added;
+    }
+    return added;
+}
+
+bool
+MemoryTraceSource::next(TraceRecord &record)
+{
+    if (_pos >= _trace.size())
+        return false;
+    record = _trace[_pos++];
+    return true;
+}
+
+} // namespace dirsim::trace

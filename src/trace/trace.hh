@@ -1,0 +1,88 @@
+/**
+ * @file
+ * In-memory trace container and its RefSource adaptor.
+ */
+
+#ifndef DIRSIM_TRACE_TRACE_HH
+#define DIRSIM_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/ref_source.hh"
+
+namespace dirsim::trace
+{
+
+/**
+ * Trace-wide metadata.
+ *
+ * The lock address set lets consumers identify synchronisation
+ * variables without relying on the per-record flags (recorded traces
+ * from other tools may carry only addresses).
+ */
+struct TraceMeta
+{
+    std::string name;       //!< Workload name, e.g.\ "pops".
+    unsigned nCpus = 0;     //!< Number of CPUs that issued references.
+    unsigned nProcesses = 0;//!< Number of distinct application processes.
+    /** Byte addresses of lock words used by the workload. */
+    std::unordered_set<std::uint64_t> lockAddrs;
+};
+
+/** A fully materialised trace: metadata plus an ordered record list. */
+class MemoryTrace
+{
+  public:
+    MemoryTrace() = default;
+    explicit MemoryTrace(TraceMeta meta) : _meta(std::move(meta)) {}
+
+    const TraceMeta &meta() const { return _meta; }
+    TraceMeta &meta() { return _meta; }
+
+    void append(const TraceRecord &record) { _records.push_back(record); }
+    void reserve(std::size_t n) { _records.reserve(n); }
+
+    std::size_t size() const { return _records.size(); }
+    bool empty() const { return _records.empty(); }
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return _records[i];
+    }
+    const std::vector<TraceRecord> &records() const { return _records; }
+
+    /**
+     * Fill this trace by draining a source.
+     *
+     * @param source Stream to drain (consumed to exhaustion).
+     * @param limit Stop after this many records (0 = unlimited).
+     * @return Number of records appended.
+     */
+    std::size_t fillFrom(RefSource &source, std::size_t limit = 0);
+
+  private:
+    TraceMeta _meta;
+    std::vector<TraceRecord> _records;
+};
+
+/** Replays a MemoryTrace through the RefSource interface. */
+class MemoryTraceSource : public RefSource
+{
+  public:
+    /** @param trace Trace to replay; must outlive the source. */
+    explicit MemoryTraceSource(const MemoryTrace &trace) : _trace(trace) {}
+
+    bool next(TraceRecord &record) override;
+    void rewind() override { _pos = 0; }
+
+  private:
+    const MemoryTrace &_trace;
+    std::size_t _pos = 0;
+};
+
+} // namespace dirsim::trace
+
+#endif // DIRSIM_TRACE_TRACE_HH

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for the directory-entry organisations and the storage
+ * calculator (Sections 2 and 6 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "directory/coarse_vector.hh"
+#include "directory/full_map.hh"
+#include "directory/limited_pointer.hh"
+#include "directory/storage.hh"
+#include "directory/two_bit.hh"
+#include "gen/rng.hh"
+
+namespace
+{
+
+using namespace dirsim::directory;
+
+TEST(FullMap, TracksSharersExactly)
+{
+    FullMapEntry entry(4);
+    entry.addSharer(0);
+    entry.addSharer(2);
+    EXPECT_EQ(entry.presence(), 0b0101u);
+    EXPECT_FALSE(entry.dirty());
+
+    const InvalTargets targets = entry.invalTargets(2, true);
+    EXPECT_FALSE(targets.broadcast);
+    EXPECT_EQ(targets.mask, 0b0001u);
+    EXPECT_EQ(targets.count(), 1u);
+}
+
+TEST(FullMap, MakeOwnerResetsToWriter)
+{
+    FullMapEntry entry(4);
+    entry.addSharer(0);
+    entry.addSharer(1);
+    entry.makeOwner(3);
+    EXPECT_EQ(entry.presence(), 0b1000u);
+    EXPECT_TRUE(entry.dirty());
+    entry.cleanse();
+    EXPECT_FALSE(entry.dirty());
+    EXPECT_EQ(entry.presence(), 0b1000u);
+}
+
+TEST(FullMap, RemoveLastSharerClearsDirty)
+{
+    FullMapEntry entry(4);
+    entry.makeOwner(1);
+    entry.removeSharer(1);
+    EXPECT_FALSE(entry.dirty());
+    EXPECT_EQ(entry.presence(), 0u);
+}
+
+TEST(FullMap, NeverBroadcasts)
+{
+    FullMapEntry entry(8);
+    for (unsigned u = 0; u < 8; ++u)
+        entry.addSharer(u);
+    EXPECT_FALSE(entry.invalTargets(0, true).broadcast);
+    EXPECT_EQ(entry.invalTargets(0, true).count(), 7u);
+}
+
+TEST(LimitedPointer, RejectsZeroPointers)
+{
+    EXPECT_THROW(LimitedPointerEntry(4, 0, true),
+                 std::invalid_argument);
+}
+
+TEST(LimitedPointer, DirectedWithinCapacity)
+{
+    LimitedPointerEntry entry(8, 2, true);
+    entry.addSharer(3);
+    entry.addSharer(5);
+    EXPECT_FALSE(entry.broadcastSet());
+    const InvalTargets targets = entry.invalTargets(3, true);
+    EXPECT_FALSE(targets.broadcast);
+    EXPECT_EQ(targets.mask, 1ULL << 5);
+}
+
+TEST(LimitedPointer, OverflowSetsBroadcastBit)
+{
+    LimitedPointerEntry entry(8, 2, true);
+    entry.addSharer(0);
+    entry.addSharer(1);
+    EXPECT_TRUE(entry.wouldOverflow(2));
+    entry.addSharer(2);
+    EXPECT_TRUE(entry.broadcastSet());
+    EXPECT_TRUE(entry.invalTargets(0, true).broadcast);
+}
+
+TEST(LimitedPointer, WriteResetsBroadcastBit)
+{
+    LimitedPointerEntry entry(8, 1, true);
+    entry.addSharer(0);
+    entry.addSharer(1); // overflow
+    ASSERT_TRUE(entry.broadcastSet());
+    entry.makeOwner(2);
+    EXPECT_FALSE(entry.broadcastSet());
+    EXPECT_TRUE(entry.dirty());
+    const InvalTargets targets = entry.invalTargets(3, false);
+    EXPECT_FALSE(targets.broadcast);
+    EXPECT_EQ(targets.mask, 1ULL << 2);
+}
+
+TEST(LimitedPointer, DuplicateAddIsIdempotent)
+{
+    LimitedPointerEntry entry(8, 2, true);
+    entry.addSharer(4);
+    entry.addSharer(4);
+    EXPECT_FALSE(entry.wouldOverflow(4));
+    EXPECT_EQ(entry.pointers().size(), 1u);
+}
+
+TEST(LimitedPointer, NoBroadcastModeThrowsOnOverflow)
+{
+    LimitedPointerEntry entry(8, 1, false);
+    entry.addSharer(0);
+    EXPECT_TRUE(entry.wouldOverflow(1));
+    EXPECT_THROW(entry.addSharer(1), std::logic_error);
+    // After the caller evicts the existing copy, the add succeeds.
+    entry.removeSharer(0);
+    EXPECT_NO_THROW(entry.addSharer(1));
+}
+
+TEST(LimitedPointer, RemoveSharerFreesPointer)
+{
+    LimitedPointerEntry entry(8, 2, true);
+    entry.addSharer(0);
+    entry.addSharer(1);
+    entry.removeSharer(0);
+    EXPECT_FALSE(entry.wouldOverflow(2));
+    entry.addSharer(2);
+    EXPECT_FALSE(entry.broadcastSet());
+}
+
+TEST(TwoBit, StateMachineBasics)
+{
+    TwoBitEntry entry(4);
+    EXPECT_EQ(entry.state(), TwoBitState::NotCached);
+    entry.addSharer(0);
+    EXPECT_EQ(entry.state(), TwoBitState::CleanExclusive);
+    entry.addSharer(1);
+    EXPECT_EQ(entry.state(), TwoBitState::CleanMany);
+    entry.makeOwner(1);
+    EXPECT_EQ(entry.state(), TwoBitState::DirtyOne);
+    EXPECT_TRUE(entry.dirty());
+    entry.cleanse();
+    EXPECT_EQ(entry.state(), TwoBitState::CleanExclusive);
+}
+
+TEST(TwoBit, CleanExclusiveSuppressesBroadcastOnHit)
+{
+    TwoBitEntry entry(4);
+    entry.addSharer(2);
+    // Write hit by the sole holder: no broadcast needed.
+    EXPECT_FALSE(entry.invalTargets(2, true).broadcast);
+    // Write miss by another cache: the single copy must be found by
+    // broadcast (no identity is stored).
+    EXPECT_TRUE(entry.invalTargets(1, false).broadcast);
+}
+
+TEST(TwoBit, CleanManyAlwaysBroadcasts)
+{
+    TwoBitEntry entry(4);
+    entry.addSharer(0);
+    entry.addSharer(1);
+    EXPECT_TRUE(entry.invalTargets(0, true).broadcast);
+}
+
+TEST(TwoBit, DirtyFillMovesToCleanMany)
+{
+    TwoBitEntry entry(4);
+    entry.makeOwner(0);
+    // Read miss by cache 1: flush then fill; ex-owner keeps a copy.
+    entry.cleanse();
+    entry.addSharer(1);
+    EXPECT_EQ(entry.state(), TwoBitState::CleanMany);
+}
+
+TEST(TwoBit, RemovalFromExclusiveStates)
+{
+    TwoBitEntry entry(4);
+    entry.addSharer(0);
+    entry.removeSharer(0);
+    EXPECT_EQ(entry.state(), TwoBitState::NotCached);
+    entry.makeOwner(2);
+    entry.removeSharer(2);
+    EXPECT_EQ(entry.state(), TwoBitState::NotCached);
+}
+
+TEST(CoarseVector, RequiresPow2Units)
+{
+    EXPECT_THROW(CoarseVectorEntry(3), std::invalid_argument);
+    EXPECT_THROW(CoarseVectorEntry(0), std::invalid_argument);
+    EXPECT_THROW(CoarseVectorEntry(128), std::invalid_argument);
+    EXPECT_NO_THROW(CoarseVectorEntry(64));
+    EXPECT_NO_THROW(CoarseVectorEntry(1));
+}
+
+TEST(CoarseVector, SingleSharerIsExact)
+{
+    CoarseVectorEntry entry(8);
+    entry.addSharer(5);
+    EXPECT_EQ(entry.denotedMask(), 1ULL << 5);
+    EXPECT_EQ(entry.bothDigits(), 0u);
+}
+
+TEST(CoarseVector, TwoSharersMergeDigits)
+{
+    CoarseVectorEntry entry(8);
+    entry.addSharer(0b000);
+    entry.addSharer(0b001);
+    // One "both" digit: denotes exactly {0, 1}.
+    EXPECT_EQ(entry.bothDigits(), 1u);
+    EXPECT_EQ(entry.denotedMask(), 0b011u);
+
+    entry.addSharer(0b100);
+    // Digits 0 and 2 are now both: denotes {0,1,4,5}.
+    EXPECT_EQ(entry.bothDigits(), 2u);
+    EXPECT_EQ(entry.denotedMask(), 0b00110011u);
+}
+
+TEST(CoarseVector, SupersetProperty)
+{
+    // Property: after any add sequence the denoted mask contains every
+    // added sharer.
+    dirsim::gen::Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        CoarseVectorEntry entry(16);
+        std::uint64_t actual = 0;
+        const int adds = 1 + static_cast<int>(rng.nextBelow(8));
+        for (int a = 0; a < adds; ++a) {
+            const unsigned unit =
+                static_cast<unsigned>(rng.nextBelow(16));
+            entry.addSharer(unit);
+            actual |= 1ULL << unit;
+        }
+        EXPECT_EQ(entry.denotedMask() & actual, actual)
+            << "trial " << trial;
+    }
+}
+
+TEST(CoarseVector, MakeOwnerResetsToExact)
+{
+    CoarseVectorEntry entry(8);
+    entry.addSharer(1);
+    entry.addSharer(6);
+    entry.makeOwner(3);
+    EXPECT_EQ(entry.denotedMask(), 1ULL << 3);
+    EXPECT_TRUE(entry.dirty());
+}
+
+TEST(CoarseVector, InvalTargetsExcludeWriter)
+{
+    CoarseVectorEntry entry(8);
+    entry.addSharer(0);
+    entry.addSharer(1);
+    const InvalTargets targets = entry.invalTargets(0, true);
+    EXPECT_FALSE(targets.broadcast);
+    EXPECT_EQ(targets.mask, 0b010u);
+}
+
+TEST(CoarseVector, SingleUnitSystem)
+{
+    CoarseVectorEntry entry(1);
+    entry.addSharer(0);
+    EXPECT_EQ(entry.denotedMask(), 1u);
+    EXPECT_EQ(entry.invalTargets(0, true).mask, 0u);
+}
+
+TEST(Storage, KnownFormulas)
+{
+    StorageParams params;
+    params.nCaches = 16;
+    EXPECT_DOUBLE_EQ(
+        bitsPerMemoryBlock(Organization::FullMap, params), 17.0);
+    EXPECT_DOUBLE_EQ(
+        bitsPerMemoryBlock(Organization::TwoBit, params), 2.0);
+    params.nPointers = 2;
+    EXPECT_DOUBLE_EQ(
+        bitsPerMemoryBlock(Organization::LimitedPointer, params),
+        2.0 * 4 + 2);
+    EXPECT_DOUBLE_EQ(
+        bitsPerMemoryBlock(Organization::LimitedPointerNB, params),
+        2.0 * 4 + 1);
+    // Coarse vector: 2*log2(n) + valid + dirty.
+    EXPECT_DOUBLE_EQ(
+        bitsPerMemoryBlock(Organization::CoarseVector, params), 10.0);
+}
+
+TEST(Storage, FullMapGrowsLinearly)
+{
+    StorageParams params;
+    params.nCaches = 4;
+    const double at4 =
+        bitsPerMemoryBlock(Organization::FullMap, params);
+    params.nCaches = 64;
+    const double at64 =
+        bitsPerMemoryBlock(Organization::FullMap, params);
+    EXPECT_DOUBLE_EQ(at64 - at4, 60.0);
+}
+
+TEST(Storage, CoarseVectorGrowsLogarithmically)
+{
+    StorageParams params;
+    params.nCaches = 4;
+    const double at4 =
+        bitsPerMemoryBlock(Organization::CoarseVector, params);
+    params.nCaches = 64;
+    const double at64 =
+        bitsPerMemoryBlock(Organization::CoarseVector, params);
+    EXPECT_DOUBLE_EQ(at4, 6.0);
+    EXPECT_DOUBLE_EQ(at64, 14.0);
+    // At 64 caches the coarse vector is far cheaper than the full map.
+    EXPECT_LT(at64, bitsPerMemoryBlock(Organization::FullMap, params));
+}
+
+TEST(Storage, TangScalesWithCacheToMemoryRatio)
+{
+    StorageParams params;
+    params.nCaches = 4;
+    const double base =
+        bitsPerMemoryBlock(Organization::Tang, params);
+    params.cacheBlocksPerCache *= 2;
+    EXPECT_DOUBLE_EQ(bitsPerMemoryBlock(Organization::Tang, params),
+                     2.0 * base);
+}
+
+TEST(Storage, TableCoversAllSchemesAndCounts)
+{
+    const std::vector<unsigned> counts = {4, 16, 64};
+    const auto rows = storageTable(counts, StorageParams{});
+    EXPECT_GE(rows.size(), 7u);
+    for (const auto &row : rows) {
+        EXPECT_EQ(row.bitsPerBlock.size(), counts.size());
+        for (double bits : row.bitsPerBlock)
+            EXPECT_GT(bits, 0.0);
+    }
+}
+
+TEST(Storage, Names)
+{
+    EXPECT_EQ(organizationName(Organization::LimitedPointer, 3),
+              "Dir3B");
+    EXPECT_EQ(organizationName(Organization::LimitedPointerNB, 2),
+              "Dir2NB");
+    EXPECT_EQ(organizationName(Organization::TwoBit, 0),
+              "Two-bit (Dir0B)");
+}
+
+/** Factories produce independent blank entries. */
+TEST(Factories, ProduceIndependentEntries)
+{
+    FullMapFactory full;
+    auto a = full.make(4);
+    auto b = full.make(4);
+    a->addSharer(1);
+    EXPECT_EQ(b->invalTargets(0, false).count(), 0u);
+
+    LimitedPointerFactory lp(2, true);
+    auto c = lp.make(8);
+    c->addSharer(1);
+    c->addSharer(2);
+    c->addSharer(3);
+    EXPECT_TRUE(c->invalTargets(0, false).broadcast);
+
+    TwoBitFactory tb;
+    auto d = tb.make(4);
+    d->addSharer(0);
+    EXPECT_FALSE(d->invalTargets(0, true).broadcast);
+
+    CoarseVectorFactory cv;
+    auto e = cv.make(16);
+    e->addSharer(7);
+    EXPECT_EQ(e->invalTargets(7, true).count(), 0u);
+}
+
+} // namespace

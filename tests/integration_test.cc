@@ -1,0 +1,297 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline — synthetic
+ * workload -> trace (optionally through serialisation) -> simulator ->
+ * cost model — reproduces the paper's qualitative results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/evaluation.hh"
+#include "analysis/exhibits.hh"
+#include "coherence/inval_engine.hh"
+#include "coherence/limited_engine.hh"
+#include "gen/workloads.hh"
+#include "sim/cost_model.hh"
+#include "sim/simulator.hh"
+#include "trace/filter.hh"
+#include "trace/io.hh"
+
+namespace
+{
+
+using namespace dirsim;
+using namespace dirsim::analysis;
+
+std::vector<gen::WorkloadConfig>
+mediumWorkloads()
+{
+    auto workloads = gen::standardWorkloads();
+    for (auto &cfg : workloads)
+        cfg.totalRefs = 250'000;
+    return workloads;
+}
+
+class PaperShape : public ::testing::Test
+{
+  protected:
+    static const Evaluation &
+    eval()
+    {
+        static const Evaluation e =
+            evaluateWorkloads(mediumWorkloads());
+        return e;
+    }
+
+    static const std::vector<SchemeCost> &
+    costs()
+    {
+        static const std::vector<SchemeCost> c =
+            schemeCosts(eval().average);
+        return c;
+    }
+};
+
+TEST_F(PaperShape, Figure2Ordering)
+{
+    // Dir1NB >> WTI >> Dir0B > Dragon, on both bus models.
+    const auto &c = costs();
+    EXPECT_GT(c[0].pipelined.total(), c[1].pipelined.total());
+    EXPECT_GT(c[1].pipelined.total(), c[2].pipelined.total());
+    EXPECT_GT(c[2].pipelined.total(), c[3].pipelined.total());
+    EXPECT_GT(c[0].nonPipelined.total(), c[1].nonPipelined.total());
+    EXPECT_GT(c[1].nonPipelined.total(), c[2].nonPipelined.total());
+    EXPECT_GT(c[2].nonPipelined.total(), c[3].nonPipelined.total());
+}
+
+TEST_F(PaperShape, Figure2Magnitudes)
+{
+    // The paper's published pipelined numbers: Dir1NB 0.3210,
+    // WTI 0.1466, Dir0B 0.0491, Dragon 0.0336.  The synthetic traces
+    // reproduce them within a factor-level band.
+    EXPECT_NEAR(costs()[0].pipelined.total(), 0.3210, 0.12);
+    EXPECT_NEAR(costs()[1].pipelined.total(), 0.1466, 0.03);
+    EXPECT_NEAR(costs()[2].pipelined.total(), 0.0491, 0.015);
+    EXPECT_NEAR(costs()[3].pipelined.total(), 0.0336, 0.012);
+}
+
+TEST_F(PaperShape, Figure2Ratios)
+{
+    // Who wins by roughly what factor.
+    const double wti_over_dir0b =
+        costs()[1].pipelined.total() / costs()[2].pipelined.total();
+    EXPECT_GT(wti_over_dir0b, 2.0);
+    EXPECT_LT(wti_over_dir0b, 5.0);
+    const double dir0b_over_dragon =
+        costs()[2].pipelined.total() / costs()[3].pipelined.total();
+    // Paper: Dir0B uses close to 50% more cycles than Dragon.
+    EXPECT_GT(dir0b_over_dragon, 1.2);
+    EXPECT_LT(dir0b_over_dragon, 2.2);
+    const double dir1nb_over_dir0b =
+        costs()[0].pipelined.total() / costs()[2].pipelined.total();
+    // Paper: over a factor of six.
+    EXPECT_GT(dir1nb_over_dir0b, 4.0);
+}
+
+TEST_F(PaperShape, RelativePerformanceBusIndependent)
+{
+    // "The relative performance of the four schemes does not depend
+    // strongly on the sophistication of the bus."
+    const auto &c = costs();
+    for (std::size_t a = 0; a < c.size(); ++a) {
+        for (std::size_t b = a + 1; b < c.size(); ++b) {
+            const double pipe_ratio =
+                c[a].pipelined.total() / c[b].pipelined.total();
+            const double np_ratio =
+                c[a].nonPipelined.total() / c[b].nonPipelined.total();
+            EXPECT_GT(pipe_ratio / np_ratio, 0.4);
+            EXPECT_LT(pipe_ratio / np_ratio, 2.5);
+        }
+    }
+}
+
+TEST_F(PaperShape, Table4EventFrequencyStructure)
+{
+    const auto &avg = eval().average;
+    const auto &iv = avg.inval.events;
+    const auto &d1 = avg.dir1nb.events;
+    const auto &dg = avg.dragon.events;
+
+    // Dir1NB has far more read misses than Dir0B (read sharing).
+    EXPECT_GT(d1.readMisses(), 4 * iv.readMisses());
+    // Dragon misses least (no invalidations).
+    EXPECT_LT(dg.readMisses(), iv.readMisses());
+    // Write misses are rare everywhere: most writes follow a read.
+    EXPECT_LT(iv.writeMisses(), iv.readMisses());
+    // Dragon's key cost events are write hits to shared blocks.
+    EXPECT_GT(dg.count(coherence::Event::WhDistrib),
+              dg.readMisses() + dg.writeMisses());
+}
+
+TEST_F(PaperShape, ConsistencyMissesAreMeaningful)
+{
+    // Section 5: consistency-related misses are a substantial share
+    // of the Dir0B miss rate (36 % in the paper).
+    const auto &iv = eval().average.inval.events;
+    const auto &dg = eval().average.dragon.events;
+    const double dir0b_data_miss =
+        static_cast<double>(iv.readMisses() + iv.writeMisses() +
+                            iv.count(coherence::Event::RmFirstRef) +
+                            iv.count(coherence::Event::WmFirstRef));
+    const double native_miss =
+        static_cast<double>(dg.readMisses() + dg.writeMisses() +
+                            dg.count(coherence::Event::RmFirstRef) +
+                            dg.count(coherence::Event::WmFirstRef));
+    const double coherency_frac =
+        (dir0b_data_miss - native_miss) / dir0b_data_miss;
+    EXPECT_GT(coherency_frac, 0.15);
+    EXPECT_LT(coherency_frac, 0.65);
+}
+
+TEST_F(PaperShape, Figure1MostInvalidationsHitAtMostOneCache)
+{
+    const Figure1 fig = figure1(eval());
+    EXPECT_GE(fig.fracAtMostOne, 0.80);
+}
+
+TEST_F(PaperShape, Figure3PeroIsCheapest)
+{
+    // "The numbers for POPS and THOR are similar, while those for
+    // PERO are much smaller."
+    ASSERT_EQ(eval().traces.size(), 3u);
+    const auto pops = schemeCosts(eval().traces[0]);
+    const auto thor = schemeCosts(eval().traces[1]);
+    const auto pero = schemeCosts(eval().traces[2]);
+    // Compare the directory schemes (WTI is dominated by the
+    // write-through policy, not by sharing).
+    for (std::size_t s : {0u, 2u, 3u}) {
+        EXPECT_LT(pero[s].pipelined.total(),
+                  0.6 * pops[s].pipelined.total())
+            << pero[s].name;
+        EXPECT_LT(pero[s].pipelined.total(),
+                  0.6 * thor[s].pipelined.total())
+            << pero[s].name;
+    }
+}
+
+TEST_F(PaperShape, Section52SpinLocksDominateDir1NB)
+{
+    EvalOptions opts;
+    opts.dropLockTests = true;
+    const Evaluation no_locks =
+        evaluateWorkloads(mediumWorkloads(), opts);
+    const auto with_costs = costs();
+    const auto without_costs = schemeCosts(no_locks.average);
+    // Paper: Dir1NB improves from 0.32 to 0.12 (a ~60 % drop);
+    // Dir0B is essentially unchanged.
+    const double d1_with = with_costs[0].pipelined.total();
+    const double d1_without = without_costs[0].pipelined.total();
+    EXPECT_LT(d1_without, 0.6 * d1_with);
+    const double d0_with = with_costs[2].pipelined.total();
+    const double d0_without = without_costs[2].pipelined.total();
+    EXPECT_NEAR(d0_without, d0_with, 0.25 * d0_with);
+}
+
+TEST_F(PaperShape, Section51OverheadNarrowsDragonLead)
+{
+    const auto pipe = bus::standardBuses().pipelined;
+    sim::CostOptions q0;
+    sim::CostOptions q1;
+    q1.overheadQ = 1.0;
+    const double d0_q0 = sim::computeCost(sim::Scheme::Dir0B,
+                                          eval().average.inval, pipe,
+                                          q0)
+                             .total();
+    const double dr_q0 = sim::computeCost(sim::Scheme::Dragon,
+                                          eval().average.dragon, pipe,
+                                          q0)
+                             .total();
+    const double d0_q1 = sim::computeCost(sim::Scheme::Dir0B,
+                                          eval().average.inval, pipe,
+                                          q1)
+                             .total();
+    const double dr_q1 = sim::computeCost(sim::Scheme::Dragon,
+                                          eval().average.dragon, pipe,
+                                          q1)
+                             .total();
+    EXPECT_LT(d0_q1 / dr_q1, d0_q0 / dr_q0);
+}
+
+TEST_F(PaperShape, Section6SequentialInvalidationIsCheap)
+{
+    const Section6 sec = section6(eval());
+    // Paper: 0.0491 -> 0.0499, i.e. well under 5 % extra.
+    EXPECT_LT(sec.dirnnbSeq - sec.dir0b, 0.05 * sec.dir0b);
+    // Dir1B with a 1-cycle broadcast matches Dir0B closely.
+    EXPECT_NEAR(sec.dir1bBase + sec.dir1bCoef, sec.dir0b,
+                0.02 * sec.dir0b);
+}
+
+TEST(IntegrationPipeline, SerialisedTraceGivesIdenticalResults)
+{
+    // workload -> binary file -> reload -> simulate must equal the
+    // streaming result bit-for-bit.
+    gen::WorkloadConfig cfg = gen::popsConfig();
+    cfg.totalRefs = 60'000;
+
+    const Evaluation direct = evaluateWorkloads({cfg});
+
+    gen::WorkloadSource source(cfg);
+    trace::MemoryTrace materialised(source.meta());
+    materialised.fillFrom(source);
+    std::stringstream buffer;
+    trace::writeBinary(materialised, buffer);
+    const trace::MemoryTrace loaded = trace::readBinary(buffer);
+
+    sim::Simulator simulator;
+    coherence::InvalEngineConfig icfg;
+    icfg.nUnits = cfg.space.nProcesses;
+    auto &inval = simulator.addEngine(
+        std::make_unique<coherence::InvalEngine>(icfg));
+    trace::MemoryTraceSource replay(loaded);
+    simulator.run(replay);
+
+    for (std::size_t e = 0; e < coherence::numEvents; ++e) {
+        const auto event = static_cast<coherence::Event>(e);
+        EXPECT_EQ(inval.results().events.count(event),
+                  direct.average.inval.events.count(event))
+            << coherence::eventName(event);
+    }
+}
+
+TEST(IntegrationPipeline, LockFilterMatchesMetaAddresses)
+{
+    // Dropping lock tests by flag must never drop a read outside the
+    // advertised lock-address set.
+    gen::WorkloadConfig cfg = gen::thorConfig();
+    cfg.totalRefs = 80'000;
+    gen::WorkloadSource source(cfg);
+    const auto lock_addrs = source.meta().lockAddrs;
+    trace::TraceRecord rec;
+    while (source.next(rec)) {
+        if (rec.isLockTest()) {
+            EXPECT_EQ(lock_addrs.count(rec.addr), 1u);
+        }
+    }
+}
+
+TEST(IntegrationPipeline, WtiAndDir0bShareEventFrequencies)
+{
+    // The paper's observation that event frequencies depend only on
+    // the state-change model: the WTI column of Table 4 is the Dir0B
+    // column.  Structurally true here (same engine), asserted to
+    // protect the design invariant.
+    const Evaluation e = evaluateWorkloads(
+        {[] {
+            auto cfg = gen::popsConfig();
+            cfg.totalRefs = 50'000;
+            return cfg;
+        }()});
+    const auto &wti = resultsFor(PaperScheme::WTI, e.average);
+    const auto &d0 = resultsFor(PaperScheme::Dir0B, e.average);
+    EXPECT_EQ(&wti, &d0);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit and property tests for the cache tag stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "gen/rng.hh"
+#include "mem/block.hh"
+#include "mem/infinite.hh"
+#include "mem/set_assoc.hh"
+
+namespace
+{
+
+using namespace dirsim::mem;
+
+TEST(BlockUtils, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(16));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(24));
+}
+
+TEST(BlockUtils, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(64), 6u);
+    EXPECT_EQ(log2Exact(1ULL << 20), 20u);
+}
+
+TEST(BlockUtils, BlockIdAndBase)
+{
+    EXPECT_EQ(blockId(0x0, 16), 0u);
+    EXPECT_EQ(blockId(0xf, 16), 0u);
+    EXPECT_EQ(blockId(0x10, 16), 1u);
+    EXPECT_EQ(blockBase(3, 16), 0x30u);
+}
+
+TEST(InfiniteStore, MissThenHit)
+{
+    InfiniteTagStore store;
+    const TouchResult first = store.touch(42);
+    EXPECT_FALSE(first.hit);
+    EXPECT_FALSE(first.evicted);
+    const TouchResult second = store.touch(42);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(InfiniteStore, NeverEvicts)
+{
+    InfiniteTagStore store;
+    for (BlockId b = 0; b < 10'000; ++b)
+        EXPECT_FALSE(store.touch(b).evicted);
+    EXPECT_EQ(store.size(), 10'000u);
+}
+
+TEST(InfiniteStore, InvalidateRemoves)
+{
+    InfiniteTagStore store;
+    store.touch(7);
+    EXPECT_TRUE(store.contains(7));
+    store.invalidate(7);
+    EXPECT_FALSE(store.contains(7));
+    EXPECT_FALSE(store.touch(7).hit);
+}
+
+TEST(InfiniteStore, ClearEmpties)
+{
+    InfiniteTagStore store;
+    store.touch(1);
+    store.touch(2);
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.contains(1));
+}
+
+TEST(SetAssoc, GeometryValidation)
+{
+    CacheGeometry bad;
+    bad.capacityBytes = 48; // 48/(16*4) = 0 sets
+    EXPECT_THROW(SetAssocTagStore{bad}, std::invalid_argument);
+
+    CacheGeometry non_pow2;
+    non_pow2.capacityBytes = 192; // 3 sets
+    non_pow2.ways = 4;
+    EXPECT_THROW(SetAssocTagStore{non_pow2}, std::invalid_argument);
+
+    CacheGeometry zero_ways;
+    zero_ways.ways = 0;
+    EXPECT_THROW(SetAssocTagStore{zero_ways}, std::invalid_argument);
+}
+
+TEST(SetAssoc, NumSetsComputation)
+{
+    CacheGeometry geom;
+    geom.capacityBytes = 64 * 1024;
+    geom.blockBytes = 16;
+    geom.ways = 4;
+    EXPECT_EQ(geom.numSets(), 1024u);
+}
+
+TEST(SetAssoc, HitAfterFill)
+{
+    SetAssocTagStore store(CacheGeometry{1024, 16, 2});
+    EXPECT_FALSE(store.touch(5).hit);
+    EXPECT_TRUE(store.touch(5).hit);
+    EXPECT_TRUE(store.contains(5));
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SetAssoc, LruEviction)
+{
+    // 2 ways, 16 sets: blocks 0, 16, 32 map to set 0.
+    SetAssocTagStore store(CacheGeometry{512, 16, 2});
+    ASSERT_EQ(store.geometry().numSets(), 16u);
+    store.touch(0);
+    store.touch(16);
+    const TouchResult r = store.touch(32);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedBlock, 0u); // least recently used
+    EXPECT_FALSE(store.contains(0));
+    EXPECT_TRUE(store.contains(16));
+    EXPECT_TRUE(store.contains(32));
+}
+
+TEST(SetAssoc, TouchRefreshesLru)
+{
+    SetAssocTagStore store(CacheGeometry{512, 16, 2});
+    store.touch(0);
+    store.touch(16);
+    store.touch(0); // 16 becomes LRU
+    const TouchResult r = store.touch(32);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedBlock, 16u);
+}
+
+TEST(SetAssoc, InvalidateFreesWay)
+{
+    SetAssocTagStore store(CacheGeometry{512, 16, 2});
+    store.touch(0);
+    store.touch(16);
+    store.invalidate(0);
+    EXPECT_EQ(store.size(), 1u);
+    // Room again: no eviction on the next fill in set 0.
+    EXPECT_FALSE(store.touch(32).evicted);
+    EXPECT_TRUE(store.contains(16));
+}
+
+TEST(SetAssoc, InvalidateMissingIsNoop)
+{
+    SetAssocTagStore store(CacheGeometry{512, 16, 2});
+    store.touch(0);
+    store.invalidate(999);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SetAssoc, DifferentSetsDontConflict)
+{
+    SetAssocTagStore store(CacheGeometry{512, 16, 2});
+    for (BlockId b = 0; b < 16; ++b)
+        EXPECT_FALSE(store.touch(b).evicted);
+    EXPECT_EQ(store.size(), 16u);
+}
+
+TEST(SetAssoc, ClearEmpties)
+{
+    SetAssocTagStore store(CacheGeometry{512, 16, 2});
+    store.touch(1);
+    store.touch(2);
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.contains(1));
+}
+
+TEST(SetAssoc, DirectMappedConflicts)
+{
+    SetAssocTagStore store(CacheGeometry{256, 16, 1});
+    ASSERT_EQ(store.geometry().numSets(), 16u);
+    store.touch(3);
+    const TouchResult r = store.touch(19); // same set, 1 way
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedBlock, 3u);
+}
+
+/**
+ * Property: SetAssocTagStore agrees with a simple reference model (a
+ * per-set std::list maintained in LRU order) over a long random
+ * operation sequence.
+ */
+class SetAssocPropertyTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(SetAssocPropertyTest, MatchesReferenceModel)
+{
+    const auto [ways, sets] = GetParam();
+    CacheGeometry geom;
+    geom.blockBytes = 16;
+    geom.ways = ways;
+    geom.capacityBytes =
+        static_cast<std::uint64_t>(sets) * ways * geom.blockBytes;
+    SetAssocTagStore store(geom);
+
+    // Reference: per-set MRU-first list.
+    std::unordered_map<std::uint64_t, std::list<BlockId>> model;
+    dirsim::gen::Rng rng(ways * 1000 + sets);
+
+    for (int op = 0; op < 20'000; ++op) {
+        const BlockId block = rng.nextBelow(sets * ways * 3);
+        const std::uint64_t set = block & (sets - 1);
+        auto &lru = model[set];
+        if (rng.chance(0.1)) {
+            // Invalidate.
+            store.invalidate(block);
+            lru.remove(block);
+            EXPECT_FALSE(store.contains(block));
+            continue;
+        }
+        const TouchResult got = store.touch(block);
+        auto it = std::find(lru.begin(), lru.end(), block);
+        if (it != lru.end()) {
+            EXPECT_TRUE(got.hit) << "op " << op;
+            lru.erase(it);
+            lru.push_front(block);
+        } else {
+            EXPECT_FALSE(got.hit) << "op " << op;
+            if (lru.size() == ways) {
+                EXPECT_TRUE(got.evicted);
+                EXPECT_EQ(got.evictedBlock, lru.back()) << "op " << op;
+                lru.pop_back();
+            } else {
+                EXPECT_FALSE(got.evicted);
+            }
+            lru.push_front(block);
+        }
+    }
+
+    // Final state agrees.
+    std::uint64_t model_size = 0;
+    for (const auto &[set, lru] : model) {
+        model_size += lru.size();
+        for (BlockId b : lru)
+            EXPECT_TRUE(store.contains(b));
+    }
+    EXPECT_EQ(store.size(), model_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SetAssocPropertyTest,
+    ::testing::Values(std::make_tuple(1u, 16u), std::make_tuple(2u, 8u),
+                      std::make_tuple(4u, 16u),
+                      std::make_tuple(8u, 4u),
+                      std::make_tuple(4u, 128u)));
+
+} // namespace

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Exhaustive model checking of the coherence engines.
+ *
+ * A deliberately naive, independently written reference specification
+ * of each state-change model is replayed against the production
+ * engines over *every* reference sequence up to a bounded length
+ * (2 units x read/write x 2 blocks = 8 symbols; all 8^6 = 262,144
+ * sequences of length 6, plus sampled deeper sequences with 3 units).
+ * Divergence in any event classification fails the test, so any
+ * behavioural regression in the engines' fast paths is caught by
+ * construction rather than by luck.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "coherence/dragon_engine.hh"
+#include "coherence/inval_engine.hh"
+#include "coherence/limited_engine.hh"
+#include "gen/rng.hh"
+
+namespace
+{
+
+using namespace dirsim;
+using coherence::Event;
+using trace::RefType;
+
+/**
+ * Reference specification of the multiple-clean/single-dirty model,
+ * written in the most literal style possible (sets and maps, no
+ * bit tricks).
+ */
+class SpecInval
+{
+  public:
+    explicit SpecInval(unsigned units) : _units(units) {}
+
+    Event
+    access(unsigned unit, RefType type, std::uint64_t block)
+    {
+        auto &holders = _holders[block];
+        auto &dirty = _dirty[block];
+        const bool seen = _referenced.count(block) > 0;
+        _referenced.insert(block);
+
+        if (type == RefType::Read) {
+            if (holders.count(unit))
+                return Event::RdHit;
+            Event event;
+            if (!seen) {
+                event = Event::RmFirstRef;
+            } else if (dirty.has_value()) {
+                event = Event::RmBlkDrty;
+                dirty.reset(); // flushed; ex-owner keeps a clean copy
+            } else if (!holders.empty()) {
+                event = Event::RmBlkCln;
+            } else {
+                event = Event::RmMemory;
+            }
+            holders.insert(unit);
+            return event;
+        }
+
+        // Write.
+        Event event;
+        if (holders.count(unit) && dirty == unit) {
+            return Event::WhBlkDrty;
+        } else if (holders.count(unit)) {
+            event = holders.size() == 1 ? Event::WhBlkClnExcl
+                                        : Event::WhBlkClnShared;
+        } else if (!seen) {
+            event = Event::WmFirstRef;
+        } else if (dirty.has_value()) {
+            event = Event::WmBlkDrty;
+        } else if (!holders.empty()) {
+            event = Event::WmBlkCln;
+        } else {
+            event = Event::WmMemory;
+        }
+        holders.clear();
+        holders.insert(unit);
+        dirty = unit;
+        return event;
+    }
+
+  private:
+    unsigned _units;
+    std::map<std::uint64_t, std::set<unsigned>> _holders;
+    std::map<std::uint64_t, std::optional<unsigned>> _dirty;
+    std::set<std::uint64_t> _referenced;
+};
+
+/** Reference specification of the Dragon update model. */
+class SpecDragon
+{
+  public:
+    Event
+    access(unsigned unit, RefType type, std::uint64_t block)
+    {
+        auto &holders = _holders[block];
+        auto &owner = _owner[block];
+        const bool seen = _referenced.count(block) > 0;
+        _referenced.insert(block);
+
+        if (type == RefType::Read) {
+            if (holders.count(unit))
+                return Event::RdHit;
+            Event event;
+            if (!seen)
+                event = Event::RmFirstRef;
+            else if (owner.has_value())
+                event = Event::RmBlkDrty;
+            else if (!holders.empty())
+                event = Event::RmBlkCln;
+            else
+                event = Event::RmMemory;
+            holders.insert(unit);
+            return event;
+        }
+
+        Event event;
+        if (holders.count(unit)) {
+            event = holders.size() == 1 ? Event::WhLocal
+                                        : Event::WhDistrib;
+        } else if (!seen) {
+            event = Event::WmFirstRef;
+        } else if (owner.has_value()) {
+            event = Event::WmBlkDrty;
+        } else if (!holders.empty()) {
+            event = Event::WmBlkCln;
+        } else {
+            event = Event::WmMemory;
+        }
+        holders.insert(unit);
+        owner = unit;
+        return event;
+    }
+
+  private:
+    std::map<std::uint64_t, std::set<unsigned>> _holders;
+    std::map<std::uint64_t, std::optional<unsigned>> _owner;
+    std::set<std::uint64_t> _referenced;
+};
+
+/** Decode symbol s in [0, units*2*blocks) to (unit, type, block). */
+struct Symbol
+{
+    unsigned unit;
+    RefType type;
+    std::uint64_t block;
+};
+
+Symbol
+decode(unsigned s, unsigned units, unsigned blocks)
+{
+    Symbol sym;
+    sym.unit = s % units;
+    s /= units;
+    sym.type = (s % 2) == 0 ? RefType::Read : RefType::Write;
+    s /= 2;
+    sym.block = s % blocks;
+    return sym;
+}
+
+/** Capture the event an engine records for one access. */
+template <typename Engine>
+Event
+observe(Engine &engine, const Symbol &sym)
+{
+    std::array<std::uint64_t, coherence::numEvents> before;
+    for (std::size_t e = 0; e < coherence::numEvents; ++e)
+        before[e] =
+            engine.results().events.count(static_cast<Event>(e));
+    engine.access(sym.unit, sym.type, sym.block);
+    for (std::size_t e = 0; e < coherence::numEvents; ++e) {
+        if (engine.results().events.count(static_cast<Event>(e)) !=
+            before[e])
+            return static_cast<Event>(e);
+    }
+    ADD_FAILURE() << "engine recorded no event";
+    return Event::Instr;
+}
+
+TEST(ModelCheck, InvalEngineExhaustiveLength6)
+{
+    constexpr unsigned units = 2;
+    constexpr unsigned blocks = 2;
+    constexpr unsigned alphabet = units * 2 * blocks; // 8
+    constexpr unsigned length = 6;
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i)
+        total *= alphabet;
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        coherence::InvalEngineConfig cfg;
+        cfg.nUnits = units;
+        coherence::InvalEngine engine(cfg);
+        SpecInval spec(units);
+        std::uint64_t code = seq;
+        for (unsigned step = 0; step < length; ++step) {
+            const Symbol sym =
+                decode(static_cast<unsigned>(code % alphabet), units,
+                       blocks);
+            code /= alphabet;
+            const Event expected =
+                spec.access(sym.unit, sym.type, sym.block);
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected)
+                << "sequence " << seq << " step " << step << ": spec "
+                << coherence::eventName(expected) << ", engine "
+                << coherence::eventName(got);
+        }
+    }
+}
+
+TEST(ModelCheck, DragonEngineExhaustiveLength6)
+{
+    constexpr unsigned units = 2;
+    constexpr unsigned blocks = 2;
+    constexpr unsigned alphabet = units * 2 * blocks;
+    constexpr unsigned length = 6;
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i)
+        total *= alphabet;
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        coherence::DragonEngine engine(units);
+        SpecDragon spec;
+        std::uint64_t code = seq;
+        for (unsigned step = 0; step < length; ++step) {
+            const Symbol sym =
+                decode(static_cast<unsigned>(code % alphabet), units,
+                       blocks);
+            code /= alphabet;
+            const Event expected =
+                spec.access(sym.unit, sym.type, sym.block);
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected)
+                << "sequence " << seq << " step " << step;
+        }
+    }
+}
+
+TEST(ModelCheck, InvalEngineRandomDeepSequencesThreeUnits)
+{
+    constexpr unsigned units = 3;
+    constexpr unsigned blocks = 3;
+    gen::Rng rng(0xC0FFEE);
+    for (int trial = 0; trial < 2'000; ++trial) {
+        coherence::InvalEngineConfig cfg;
+        cfg.nUnits = units;
+        coherence::InvalEngine engine(cfg);
+        SpecInval spec(units);
+        for (int step = 0; step < 40; ++step) {
+            Symbol sym;
+            sym.unit = static_cast<unsigned>(rng.nextBelow(units));
+            sym.type =
+                rng.chance(0.4) ? RefType::Write : RefType::Read;
+            sym.block = rng.nextBelow(blocks);
+            const Event expected =
+                spec.access(sym.unit, sym.type, sym.block);
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected) << "trial " << trial << " step "
+                                     << step;
+        }
+    }
+}
+
+TEST(ModelCheck, DragonEngineRandomDeepSequencesFourUnits)
+{
+    constexpr unsigned units = 4;
+    constexpr unsigned blocks = 3;
+    gen::Rng rng(0xBEEF);
+    for (int trial = 0; trial < 2'000; ++trial) {
+        coherence::DragonEngine engine(units);
+        SpecDragon spec;
+        for (int step = 0; step < 40; ++step) {
+            Symbol sym;
+            sym.unit = static_cast<unsigned>(rng.nextBelow(units));
+            sym.type =
+                rng.chance(0.4) ? RefType::Write : RefType::Read;
+            sym.block = rng.nextBelow(blocks);
+            const Event expected =
+                spec.access(sym.unit, sym.type, sym.block);
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected) << "trial " << trial << " step "
+                                     << step;
+        }
+    }
+}
+
+/** Dir1NB reference spec: at most one copy exists. */
+TEST(ModelCheck, Dir1NbExhaustiveLength6)
+{
+    constexpr unsigned units = 2;
+    constexpr unsigned blocks = 2;
+    constexpr unsigned alphabet = units * 2 * blocks;
+    constexpr unsigned length = 6;
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i)
+        total *= alphabet;
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        coherence::LimitedEngine engine(units, 1);
+        // Literal single-copy spec.
+        std::map<std::uint64_t, std::optional<unsigned>> holder;
+        std::map<std::uint64_t, bool> dirty;
+        std::set<std::uint64_t> referenced;
+
+        std::uint64_t code = seq;
+        for (unsigned step = 0; step < length; ++step) {
+            const Symbol sym =
+                decode(static_cast<unsigned>(code % alphabet), units,
+                       blocks);
+            code /= alphabet;
+
+            Event expected;
+            auto &h = holder[sym.block];
+            const bool seen = referenced.count(sym.block) > 0;
+            referenced.insert(sym.block);
+            if (sym.type == RefType::Read) {
+                if (h == sym.unit) {
+                    expected = Event::RdHit;
+                } else {
+                    if (!seen)
+                        expected = Event::RmFirstRef;
+                    else if (dirty[sym.block])
+                        expected = Event::RmBlkDrty;
+                    else
+                        expected = Event::RmBlkCln;
+                    h = sym.unit;
+                    dirty[sym.block] = false;
+                }
+            } else {
+                if (h == sym.unit) {
+                    expected = dirty[sym.block] ? Event::WhBlkDrty
+                                                : Event::WhBlkClnExcl;
+                } else if (!seen) {
+                    expected = Event::WmFirstRef;
+                } else {
+                    expected = dirty[sym.block] ? Event::WmBlkDrty
+                                                : Event::WmBlkCln;
+                }
+                h = sym.unit;
+                dirty[sym.block] = true;
+            }
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected)
+                << "sequence " << seq << " step " << step;
+        }
+    }
+}
+
+} // namespace

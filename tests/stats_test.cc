@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/csv.hh"
+#include "stats/distribution.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using dirsim::stats::Counter;
+using dirsim::stats::CsvWriter;
+using dirsim::stats::Distribution;
+using dirsim::stats::Histogram;
+using dirsim::stats::TextTable;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(c.frac(100), 0.0);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    ++c;
+    c.add(3);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Counter, FracAgainstTotal)
+{
+    Counter c;
+    c.add(25);
+    EXPECT_DOUBLE_EQ(c.frac(100), 0.25);
+}
+
+TEST(Counter, FracZeroTotalIsZero)
+{
+    Counter c;
+    c.add(7);
+    EXPECT_DOUBLE_EQ(c.frac(0), 0.0);
+}
+
+TEST(Counter, MergeAndReset)
+{
+    Counter a;
+    Counter b;
+    a.add(2);
+    b.add(3);
+    a.merge(b);
+    EXPECT_EQ(a.value(), 5u);
+    a.reset();
+    EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(Histogram, EmptyHistogram)
+{
+    Histogram h;
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.frac(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fracAtMost(5), 0.0);
+}
+
+TEST(Histogram, BasicSampling)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.maxValue(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.25);
+}
+
+TEST(Histogram, WeightedSampling)
+{
+    Histogram h;
+    h.sample(2, 10);
+    EXPECT_EQ(h.totalSamples(), 10u);
+    EXPECT_EQ(h.totalWeight(), 20u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, FracAtMost)
+{
+    Histogram h;
+    h.sample(0, 5);
+    h.sample(1, 3);
+    h.sample(4, 2);
+    EXPECT_DOUBLE_EQ(h.fracAtMost(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fracAtMost(1), 0.8);
+    EXPECT_DOUBLE_EQ(h.fracAtMost(3), 0.8);
+    EXPECT_DOUBLE_EQ(h.fracAtMost(4), 1.0);
+    EXPECT_DOUBLE_EQ(h.fracAtMost(100), 1.0);
+}
+
+TEST(Histogram, ExcessOver)
+{
+    Histogram h;
+    h.sample(1, 4); // no excess over 1
+    h.sample(3, 2); // 2 each
+    h.sample(5, 1); // 4
+    EXPECT_EQ(h.excessOver(1), 2u * 2u + 4u);
+    EXPECT_EQ(h.excessOver(0), 4u + 3u * 2u + 5u);
+    EXPECT_EQ(h.excessOver(5), 0u);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a;
+    Histogram b;
+    a.sample(1, 2);
+    b.sample(1, 3);
+    b.sample(4, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 5u);
+    EXPECT_EQ(a.count(4), 1u);
+    EXPECT_EQ(a.totalSamples(), 6u);
+    EXPECT_EQ(a.totalWeight(), 5u + 4u);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h;
+    h.sample(7, 3);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.count(7), 0u);
+}
+
+TEST(Histogram, ToStringListsBuckets)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(2);
+    const std::string s = h.toString();
+    EXPECT_NE(s.find("0: 1"), std::string::npos);
+    EXPECT_NE(s.find("2: 1"), std::string::npos);
+}
+
+TEST(Distribution, Empty)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, MinMaxMean)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(2.0);
+    d.sample(6.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(Distribution, VarianceMatchesDefinition)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_NEAR(d.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-12);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(10.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Title", {"A", "B"});
+    t.addRow({"x", "1"});
+    t.addRow({"y", "2"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find('A'), std::string::npos);
+    EXPECT_NE(s.find('x'), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t("T", {"A", "B", "C"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.toString());
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(0.03355, 4), "0.0336");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.8532, 1), "85.3");
+}
+
+TEST(Csv, EscapesSpecials)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a", "b,c"});
+    csv.writeRow({"1", "2"});
+    EXPECT_EQ(os.str(), "a,\"b,c\"\n1,2\n");
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(TextTable, CsvRendering)
+{
+    TextTable t("My, Title", {"A", "B"});
+    t.addRow({"x,y", "1"});
+    t.addSeparator();
+    t.addRow({"z", "2"});
+    const std::string csv = t.toCsv();
+    EXPECT_EQ(csv, "# My, Title\nA,B\n\"x,y\",1\nz,2\n");
+}
+
+TEST(TextTable, CsvSkipsSeparators)
+{
+    TextTable t("T", {"A"});
+    t.addSeparator();
+    t.addRow({"v"});
+    const std::string csv = t.toCsv();
+    EXPECT_EQ(csv, "# T\nA\nv\n");
+}
+
+} // namespace
