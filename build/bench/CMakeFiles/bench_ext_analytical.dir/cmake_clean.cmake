@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_analytical.dir/bench_ext_analytical.cc.o"
+  "CMakeFiles/bench_ext_analytical.dir/bench_ext_analytical.cc.o.d"
+  "bench_ext_analytical"
+  "bench_ext_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

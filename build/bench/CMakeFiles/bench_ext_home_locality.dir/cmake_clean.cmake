@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_home_locality.dir/bench_ext_home_locality.cc.o"
+  "CMakeFiles/bench_ext_home_locality.dir/bench_ext_home_locality.cc.o.d"
+  "bench_ext_home_locality"
+  "bench_ext_home_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_home_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

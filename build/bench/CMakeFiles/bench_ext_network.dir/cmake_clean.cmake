@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_network.dir/bench_ext_network.cc.o"
+  "CMakeFiles/bench_ext_network.dir/bench_ext_network.cc.o.d"
+  "bench_ext_network"
+  "bench_ext_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

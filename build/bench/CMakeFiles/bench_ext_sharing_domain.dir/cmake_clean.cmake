@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sharing_domain.dir/bench_ext_sharing_domain.cc.o"
+  "CMakeFiles/bench_ext_sharing_domain.dir/bench_ext_sharing_domain.cc.o.d"
+  "bench_ext_sharing_domain"
+  "bench_ext_sharing_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sharing_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

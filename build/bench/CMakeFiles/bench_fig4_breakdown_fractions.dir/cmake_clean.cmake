@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_breakdown_fractions.dir/bench_fig4_breakdown_fractions.cc.o"
+  "CMakeFiles/bench_fig4_breakdown_fractions.dir/bench_fig4_breakdown_fractions.cc.o.d"
+  "bench_fig4_breakdown_fractions"
+  "bench_fig4_breakdown_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_breakdown_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_per_transaction.dir/bench_fig5_per_transaction.cc.o"
+  "CMakeFiles/bench_fig5_per_transaction.dir/bench_fig5_per_transaction.cc.o.d"
+  "bench_fig5_per_transaction"
+  "bench_fig5_per_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_per_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

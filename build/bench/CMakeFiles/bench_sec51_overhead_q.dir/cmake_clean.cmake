@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_overhead_q.dir/bench_sec51_overhead_q.cc.o"
+  "CMakeFiles/bench_sec51_overhead_q.dir/bench_sec51_overhead_q.cc.o.d"
+  "bench_sec51_overhead_q"
+  "bench_sec51_overhead_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_overhead_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

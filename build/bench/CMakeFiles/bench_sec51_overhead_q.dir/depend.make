@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec51_overhead_q.
+# This may be replaced when dependencies are built.

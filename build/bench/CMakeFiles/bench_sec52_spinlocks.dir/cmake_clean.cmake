@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_spinlocks.dir/bench_sec52_spinlocks.cc.o"
+  "CMakeFiles/bench_sec52_spinlocks.dir/bench_sec52_spinlocks.cc.o.d"
+  "bench_sec52_spinlocks"
+  "bench_sec52_spinlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_spinlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

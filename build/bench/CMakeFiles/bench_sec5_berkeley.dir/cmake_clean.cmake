@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_berkeley.dir/bench_sec5_berkeley.cc.o"
+  "CMakeFiles/bench_sec5_berkeley.dir/bench_sec5_berkeley.cc.o.d"
+  "bench_sec5_berkeley"
+  "bench_sec5_berkeley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_berkeley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_system_limit.dir/bench_sec5_system_limit.cc.o"
+  "CMakeFiles/bench_sec5_system_limit.dir/bench_sec5_system_limit.cc.o.d"
+  "bench_sec5_system_limit"
+  "bench_sec5_system_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_system_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_bus_costs.dir/bench_table2_bus_costs.cc.o"
+  "CMakeFiles/bench_table2_bus_costs.dir/bench_table2_bus_costs.cc.o.d"
+  "bench_table2_bus_costs"
+  "bench_table2_bus_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_bus_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

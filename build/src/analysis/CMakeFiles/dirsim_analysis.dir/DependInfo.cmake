@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analytical.cc" "src/analysis/CMakeFiles/dirsim_analysis.dir/analytical.cc.o" "gcc" "src/analysis/CMakeFiles/dirsim_analysis.dir/analytical.cc.o.d"
+  "/root/repo/src/analysis/evaluation.cc" "src/analysis/CMakeFiles/dirsim_analysis.dir/evaluation.cc.o" "gcc" "src/analysis/CMakeFiles/dirsim_analysis.dir/evaluation.cc.o.d"
+  "/root/repo/src/analysis/exhibits.cc" "src/analysis/CMakeFiles/dirsim_analysis.dir/exhibits.cc.o" "gcc" "src/analysis/CMakeFiles/dirsim_analysis.dir/exhibits.cc.o.d"
+  "/root/repo/src/analysis/extensions.cc" "src/analysis/CMakeFiles/dirsim_analysis.dir/extensions.cc.o" "gcc" "src/analysis/CMakeFiles/dirsim_analysis.dir/extensions.cc.o.d"
+  "/root/repo/src/analysis/system_perf.cc" "src/analysis/CMakeFiles/dirsim_analysis.dir/system_perf.cc.o" "gcc" "src/analysis/CMakeFiles/dirsim_analysis.dir/system_perf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dirsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dirsim_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dirsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dirsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dirsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dirsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

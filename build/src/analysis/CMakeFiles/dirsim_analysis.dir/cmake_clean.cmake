@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_analysis.dir/analytical.cc.o"
+  "CMakeFiles/dirsim_analysis.dir/analytical.cc.o.d"
+  "CMakeFiles/dirsim_analysis.dir/evaluation.cc.o"
+  "CMakeFiles/dirsim_analysis.dir/evaluation.cc.o.d"
+  "CMakeFiles/dirsim_analysis.dir/exhibits.cc.o"
+  "CMakeFiles/dirsim_analysis.dir/exhibits.cc.o.d"
+  "CMakeFiles/dirsim_analysis.dir/extensions.cc.o"
+  "CMakeFiles/dirsim_analysis.dir/extensions.cc.o.d"
+  "CMakeFiles/dirsim_analysis.dir/system_perf.cc.o"
+  "CMakeFiles/dirsim_analysis.dir/system_perf.cc.o.d"
+  "libdirsim_analysis.a"
+  "libdirsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

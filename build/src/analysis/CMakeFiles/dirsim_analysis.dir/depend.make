@@ -1,0 +1,2 @@
+# Empty dependencies file for dirsim_analysis.
+# This may be replaced when dependencies are built.

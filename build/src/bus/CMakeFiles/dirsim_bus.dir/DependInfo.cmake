@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/bus_model.cc" "src/bus/CMakeFiles/dirsim_bus.dir/bus_model.cc.o" "gcc" "src/bus/CMakeFiles/dirsim_bus.dir/bus_model.cc.o.d"
+  "/root/repo/src/bus/network.cc" "src/bus/CMakeFiles/dirsim_bus.dir/network.cc.o" "gcc" "src/bus/CMakeFiles/dirsim_bus.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dirsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_bus.dir/bus_model.cc.o"
+  "CMakeFiles/dirsim_bus.dir/bus_model.cc.o.d"
+  "CMakeFiles/dirsim_bus.dir/network.cc.o"
+  "CMakeFiles/dirsim_bus.dir/network.cc.o.d"
+  "libdirsim_bus.a"
+  "libdirsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/berkeley_engine.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/berkeley_engine.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/berkeley_engine.cc.o.d"
+  "/root/repo/src/coherence/dragon_engine.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/dragon_engine.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/dragon_engine.cc.o.d"
+  "/root/repo/src/coherence/events.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/events.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/events.cc.o.d"
+  "/root/repo/src/coherence/inval_engine.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/inval_engine.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/inval_engine.cc.o.d"
+  "/root/repo/src/coherence/limited_engine.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/limited_engine.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/limited_engine.cc.o.d"
+  "/root/repo/src/coherence/results.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/results.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/results.cc.o.d"
+  "/root/repo/src/coherence/wti_engine.cc" "src/coherence/CMakeFiles/dirsim_coherence.dir/wti_engine.cc.o" "gcc" "src/coherence/CMakeFiles/dirsim_coherence.dir/wti_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dirsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dirsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_coherence.dir/berkeley_engine.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/berkeley_engine.cc.o.d"
+  "CMakeFiles/dirsim_coherence.dir/dragon_engine.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/dragon_engine.cc.o.d"
+  "CMakeFiles/dirsim_coherence.dir/events.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/events.cc.o.d"
+  "CMakeFiles/dirsim_coherence.dir/inval_engine.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/inval_engine.cc.o.d"
+  "CMakeFiles/dirsim_coherence.dir/limited_engine.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/limited_engine.cc.o.d"
+  "CMakeFiles/dirsim_coherence.dir/results.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/results.cc.o.d"
+  "CMakeFiles/dirsim_coherence.dir/wti_engine.cc.o"
+  "CMakeFiles/dirsim_coherence.dir/wti_engine.cc.o.d"
+  "libdirsim_coherence.a"
+  "libdirsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

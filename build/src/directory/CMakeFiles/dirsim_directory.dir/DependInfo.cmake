@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/coarse_vector.cc" "src/directory/CMakeFiles/dirsim_directory.dir/coarse_vector.cc.o" "gcc" "src/directory/CMakeFiles/dirsim_directory.dir/coarse_vector.cc.o.d"
+  "/root/repo/src/directory/full_map.cc" "src/directory/CMakeFiles/dirsim_directory.dir/full_map.cc.o" "gcc" "src/directory/CMakeFiles/dirsim_directory.dir/full_map.cc.o.d"
+  "/root/repo/src/directory/limited_pointer.cc" "src/directory/CMakeFiles/dirsim_directory.dir/limited_pointer.cc.o" "gcc" "src/directory/CMakeFiles/dirsim_directory.dir/limited_pointer.cc.o.d"
+  "/root/repo/src/directory/storage.cc" "src/directory/CMakeFiles/dirsim_directory.dir/storage.cc.o" "gcc" "src/directory/CMakeFiles/dirsim_directory.dir/storage.cc.o.d"
+  "/root/repo/src/directory/two_bit.cc" "src/directory/CMakeFiles/dirsim_directory.dir/two_bit.cc.o" "gcc" "src/directory/CMakeFiles/dirsim_directory.dir/two_bit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dirsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dirsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_directory.dir/coarse_vector.cc.o"
+  "CMakeFiles/dirsim_directory.dir/coarse_vector.cc.o.d"
+  "CMakeFiles/dirsim_directory.dir/full_map.cc.o"
+  "CMakeFiles/dirsim_directory.dir/full_map.cc.o.d"
+  "CMakeFiles/dirsim_directory.dir/limited_pointer.cc.o"
+  "CMakeFiles/dirsim_directory.dir/limited_pointer.cc.o.d"
+  "CMakeFiles/dirsim_directory.dir/storage.cc.o"
+  "CMakeFiles/dirsim_directory.dir/storage.cc.o.d"
+  "CMakeFiles/dirsim_directory.dir/two_bit.cc.o"
+  "CMakeFiles/dirsim_directory.dir/two_bit.cc.o.d"
+  "libdirsim_directory.a"
+  "libdirsim_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

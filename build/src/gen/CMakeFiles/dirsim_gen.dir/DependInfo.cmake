@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/address_space.cc" "src/gen/CMakeFiles/dirsim_gen.dir/address_space.cc.o" "gcc" "src/gen/CMakeFiles/dirsim_gen.dir/address_space.cc.o.d"
+  "/root/repo/src/gen/lock_set.cc" "src/gen/CMakeFiles/dirsim_gen.dir/lock_set.cc.o" "gcc" "src/gen/CMakeFiles/dirsim_gen.dir/lock_set.cc.o.d"
+  "/root/repo/src/gen/process.cc" "src/gen/CMakeFiles/dirsim_gen.dir/process.cc.o" "gcc" "src/gen/CMakeFiles/dirsim_gen.dir/process.cc.o.d"
+  "/root/repo/src/gen/rng.cc" "src/gen/CMakeFiles/dirsim_gen.dir/rng.cc.o" "gcc" "src/gen/CMakeFiles/dirsim_gen.dir/rng.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/gen/CMakeFiles/dirsim_gen.dir/workload.cc.o" "gcc" "src/gen/CMakeFiles/dirsim_gen.dir/workload.cc.o.d"
+  "/root/repo/src/gen/workloads.cc" "src/gen/CMakeFiles/dirsim_gen.dir/workloads.cc.o" "gcc" "src/gen/CMakeFiles/dirsim_gen.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dirsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_gen.dir/address_space.cc.o"
+  "CMakeFiles/dirsim_gen.dir/address_space.cc.o.d"
+  "CMakeFiles/dirsim_gen.dir/lock_set.cc.o"
+  "CMakeFiles/dirsim_gen.dir/lock_set.cc.o.d"
+  "CMakeFiles/dirsim_gen.dir/process.cc.o"
+  "CMakeFiles/dirsim_gen.dir/process.cc.o.d"
+  "CMakeFiles/dirsim_gen.dir/rng.cc.o"
+  "CMakeFiles/dirsim_gen.dir/rng.cc.o.d"
+  "CMakeFiles/dirsim_gen.dir/workload.cc.o"
+  "CMakeFiles/dirsim_gen.dir/workload.cc.o.d"
+  "CMakeFiles/dirsim_gen.dir/workloads.cc.o"
+  "CMakeFiles/dirsim_gen.dir/workloads.cc.o.d"
+  "libdirsim_gen.a"
+  "libdirsim_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_mem.dir/set_assoc.cc.o"
+  "CMakeFiles/dirsim_mem.dir/set_assoc.cc.o.d"
+  "libdirsim_mem.a"
+  "libdirsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_stats.dir/csv.cc.o"
+  "CMakeFiles/dirsim_stats.dir/csv.cc.o.d"
+  "CMakeFiles/dirsim_stats.dir/distribution.cc.o"
+  "CMakeFiles/dirsim_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/dirsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/dirsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dirsim_stats.dir/table.cc.o"
+  "CMakeFiles/dirsim_stats.dir/table.cc.o.d"
+  "libdirsim_stats.a"
+  "libdirsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_trace.dir/characterize.cc.o"
+  "CMakeFiles/dirsim_trace.dir/characterize.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/filter.cc.o"
+  "CMakeFiles/dirsim_trace.dir/filter.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/io.cc.o"
+  "CMakeFiles/dirsim_trace.dir/io.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/trace.cc.o"
+  "CMakeFiles/dirsim_trace.dir/trace.cc.o.d"
+  "libdirsim_trace.a"
+  "libdirsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

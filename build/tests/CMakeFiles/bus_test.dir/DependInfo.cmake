@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bus_test.cc" "tests/CMakeFiles/bus_test.dir/bus_test.cc.o" "gcc" "tests/CMakeFiles/bus_test.dir/bus_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dirsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dirsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dirsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dirsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dirsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dirsim_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dirsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
