@@ -7,6 +7,14 @@
  * then runs google-benchmark timings of the simulation kernels behind
  * it.  The evaluation of the three standard workloads is cached per
  * process.
+ *
+ * Benches that run simulation sweeps take a `--jobs N` knob (parsed
+ * and stripped by parseJobs() before google-benchmark sees argv):
+ * N > 1 fans the protocol×workload matrix out over a sim::SweepRunner
+ * with N worker threads, N = 0 uses one thread per hardware thread,
+ * and the default of 1 keeps the serial single-pass path.  Parallel
+ * results are bit-identical to serial ones; sweepTimingReport()
+ * prints the wall-clock comparison.
  */
 
 #ifndef DIRSIM_BENCH_COMMON_HH
@@ -14,7 +22,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "analysis/evaluation.hh"
 #include "analysis/exhibits.hh"
@@ -23,17 +36,149 @@
 namespace dirsim::bench
 {
 
+/** Worker threads for sweep-based exhibits; set by parseJobs(). */
+inline unsigned &
+sweepJobs()
+{
+    static unsigned jobs = 1;
+    return jobs;
+}
+
+/** Parse a --jobs value, exiting with a clear error on garbage. */
+inline unsigned
+parseJobsValue(const char *text)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::cerr << "error: invalid --jobs value '" << text
+                  << "' (expected a non-negative integer)\n";
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+/**
+ * Consume `--jobs N` / `--jobs=N` from argv before google-benchmark
+ * parses it.  Call first thing in main().
+ */
+inline void
+parseJobs(int *argc, char **argv)
+{
+    int out = 1;
+    for (int a = 1; a < *argc; ++a) {
+        if (std::strcmp(argv[a], "--jobs") == 0) {
+            if (a + 1 >= *argc) {
+                std::cerr << "error: --jobs requires a value\n";
+                std::exit(2);
+            }
+            sweepJobs() = parseJobsValue(argv[++a]);
+        } else if (std::strncmp(argv[a], "--jobs=", 7) == 0) {
+            sweepJobs() = parseJobsValue(argv[a] + 7);
+        } else {
+            argv[out++] = argv[a];
+        }
+    }
+    *argc = out;
+}
+
+/** EvalOptions carrying the --jobs setting. */
+inline analysis::EvalOptions
+sweepOptions()
+{
+    analysis::EvalOptions opts;
+    opts.jobs = sweepJobs();
+    return opts;
+}
+
+/** Seconds elapsed on a steady clock since construction. */
+class WallTimer
+{
+  public:
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - _start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _start =
+        std::chrono::steady_clock::now();
+};
+
+namespace detail
+{
+
+/** Standard eval computed once with the --jobs setting, plus timing. */
+struct TimedStandardEval
+{
+    analysis::Evaluation eval;
+    double seconds = 0.0;
+    unsigned jobs = 1;
+
+    TimedStandardEval()
+    {
+        jobs = sweepJobs();
+        WallTimer timer;
+        eval = analysis::evaluateWorkloads(gen::standardWorkloads(),
+                                           sweepOptions());
+        seconds = timer.seconds();
+    }
+};
+
+inline const TimedStandardEval &
+timedStandardEval()
+{
+    static const TimedStandardEval timed;
+    return timed;
+}
+
+} // namespace detail
+
 /** Quarter-size standard evaluation, computed once per binary. */
 inline const analysis::Evaluation &
 standardEval()
 {
-    static const analysis::Evaluation eval =
-        analysis::evaluateStandard();
-    return eval;
+    return detail::timedStandardEval().eval;
 }
 
 /** Number of CPUs in the standard workloads (for rendering). */
 constexpr unsigned standardCpus = 4;
+
+/**
+ * Wall-clock report for the standard protocol×workload sweep.  With
+ * --jobs > 1 it also times a serial reference run so the speedup of
+ * the parallel sweep engine is visible (and the results comparable —
+ * they are bit-identical by construction and by test).
+ */
+inline std::string
+sweepTimingReport()
+{
+    const auto &timed = detail::timedStandardEval();
+    std::ostringstream os;
+    os << "[sweep] standard workloads x 3 engines: ";
+    if (timed.jobs == 1) {
+        os << "serial " << timed.seconds
+           << " s (pass --jobs N for the parallel sweep engine)\n";
+        return os.str();
+    }
+    WallTimer timer;
+    const analysis::Evaluation serial =
+        analysis::evaluateWorkloads(gen::standardWorkloads());
+    const double serial_s = timer.seconds();
+    const bool identical =
+        serial.average.inval == timed.eval.average.inval &&
+        serial.average.dir1nb == timed.eval.average.dir1nb &&
+        serial.average.dragon == timed.eval.average.dragon;
+    os << "serial " << serial_s << " s, --jobs " << timed.jobs
+       << " parallel " << timed.seconds << " s, speedup "
+       << (timed.seconds > 0.0 ? serial_s / timed.seconds : 0.0)
+       << "x, results " << (identical ? "bit-identical" : "DIVERGED!")
+       << "\n";
+    return os.str();
+}
 
 /**
  * Print the exhibit, then hand over to google-benchmark.  Call from

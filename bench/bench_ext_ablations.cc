@@ -41,7 +41,7 @@ blockSizeExhibit()
         gen::WorkloadConfig cfg = gen::popsConfig();
         cfg.totalRefs = 300'000;
 
-        analysis::EvalOptions opts;
+        analysis::EvalOptions opts = dirsim::bench::sweepOptions();
         opts.sim.blockBytes = block_bytes;
         const auto eval = analysis::evaluateWorkloads({cfg}, opts);
 
@@ -86,7 +86,8 @@ falseSharingExhibit()
         // actually contended concurrently.
         cfg.behavior.nHotLocks = 2;
         cfg.space.falseSharingLocks = false_sharing;
-        const auto eval = analysis::evaluateWorkloads({cfg});
+        const auto eval = analysis::evaluateWorkloads(
+            {cfg}, dirsim::bench::sweepOptions());
         table.addRow(
             {false_sharing ? "2 locks / block" : "1 lock / block",
              stats::TextTable::num(
@@ -118,7 +119,7 @@ migrationExhibit()
         cfg.totalRefs = 300'000;
         cfg.migrationRate = rate;
         cfg.quantumRefs = 20'000;
-        analysis::EvalOptions opts;
+        analysis::EvalOptions opts = dirsim::bench::sweepOptions();
         opts.sim.domain = sim::SharingDomain::Processor;
         opts.nUnits = cfg.space.nCpus;
         const auto eval = analysis::evaluateWorkloads({cfg}, opts);
@@ -157,8 +158,14 @@ BENCHMARK(BM_BlockSizeSweepPoint)->Arg(4)->Arg(64);
 int
 main(int argc, char **argv)
 {
-    const std::string exhibit = blockSizeExhibit() + "\n" +
-                                falseSharingExhibit() + "\n" +
-                                migrationExhibit();
-    return dirsim::bench::runBench(argc, argv, exhibit);
+    dirsim::bench::parseJobs(&argc, argv);
+    dirsim::bench::WallTimer timer;
+    std::string exhibit = blockSizeExhibit() + "\n" +
+                          falseSharingExhibit() + "\n" +
+                          migrationExhibit();
+    std::ostringstream timing;
+    timing << "\n[sweep] ablation sweeps (--jobs "
+           << dirsim::bench::sweepJobs() << "): " << timer.seconds()
+           << " s\n";
+    return dirsim::bench::runBench(argc, argv, exhibit + timing.str());
 }

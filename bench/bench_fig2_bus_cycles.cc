@@ -30,8 +30,10 @@ BENCHMARK(BM_SchemeCosts);
 int
 main(int argc, char **argv)
 {
-    return dirsim::bench::runBench(
-        argc, argv,
+    dirsim::bench::parseJobs(&argc, argv);
+    const std::string exhibit =
         dirsim::analysis::figure2(dirsim::bench::standardEval())
-            .toString());
+            .toString() +
+        "\n" + dirsim::bench::sweepTimingReport();
+    return dirsim::bench::runBench(argc, argv, exhibit);
 }

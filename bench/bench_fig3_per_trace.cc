@@ -33,8 +33,10 @@ BENCHMARK(BM_PerTraceCosts);
 int
 main(int argc, char **argv)
 {
-    return dirsim::bench::runBench(
-        argc, argv,
+    dirsim::bench::parseJobs(&argc, argv);
+    const std::string exhibit =
         dirsim::analysis::figure3(dirsim::bench::standardEval())
-            .toString());
+            .toString() +
+        "\n" + dirsim::bench::sweepTimingReport();
+    return dirsim::bench::runBench(argc, argv, exhibit);
 }

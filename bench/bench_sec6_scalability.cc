@@ -55,12 +55,20 @@ exhibit()
     os << analysis::renderSection6(sec, broadcastCost).toString()
        << "\n";
 
+    // The DiriNB pointer sweep is the widest fan-out in this exhibit
+    // (workloads x pointer counts); run it on the sweep engine.
     const std::vector<unsigned> pointer_counts = {1, 2, 3, 4};
+    dirsim::bench::WallTimer sweep_timer;
     const auto sweep = analysis::limitedSweep(
-        gen::standardWorkloads(), pointer_counts);
+        gen::standardWorkloads(), pointer_counts,
+        dirsim::bench::sweepOptions());
     os << analysis::limitedSweepTable(sweep, pointer_counts)
               .toString()
        << "\n";
+    os << "[sweep] DiriNB pointer sweep (" << pointer_counts.size()
+       << " pointer counts x 3 workloads, --jobs "
+       << dirsim::bench::sweepJobs() << "): " << sweep_timer.seconds()
+       << " s\n\n";
 
     os << analysis::renderDirectoryMessages(
               analysis::directoryMessageStudy())
@@ -100,5 +108,8 @@ BENCHMARK(BM_LimitedSweep);
 int
 main(int argc, char **argv)
 {
-    return dirsim::bench::runBench(argc, argv, exhibit());
+    dirsim::bench::parseJobs(&argc, argv);
+    return dirsim::bench::runBench(
+        argc, argv,
+        exhibit() + "\n" + dirsim::bench::sweepTimingReport());
 }

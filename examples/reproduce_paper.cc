@@ -6,11 +6,16 @@
  * directory, so the whole paper can be regenerated (and plotted) with
  * a single command.
  *
- * Usage: reproduce_paper [outdir] [--full]
- *   outdir  defaults to ./results
- *   --full  full-size (~3.2M reference) traces
+ * Usage: reproduce_paper [outdir] [--full] [--jobs N]
+ *   outdir   defaults to ./results
+ *   --full   full-size (~3.2M reference) traces
+ *   --jobs N fan simulation sweeps out over N worker threads
+ *            (0 = one per hardware thread; default 1 = serial);
+ *            parallel runs are bit-identical to serial ones
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -31,6 +36,19 @@ using namespace dirsim;
 
 std::filesystem::path outDir;
 
+unsigned
+parseJobsValue(const char *text)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::cerr << "error: invalid --jobs value '" << text
+                  << "' (expected a non-negative integer)\n";
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
 void
 emit(const std::string &name, const stats::TextTable &table)
 {
@@ -49,15 +67,30 @@ int
 main(int argc, char **argv)
 {
     bool full_size = false;
+    unsigned jobs = 1;
     outDir = "results";
     for (int a = 1; a < argc; ++a) {
-        if (std::strcmp(argv[a], "--full") == 0)
+        if (std::strcmp(argv[a], "--full") == 0) {
             full_size = true;
-        else
+        } else if (std::strcmp(argv[a], "--jobs") == 0) {
+            if (a + 1 >= argc) {
+                std::cerr << "error: --jobs requires a value\n";
+                return 2;
+            }
+            jobs = parseJobsValue(argv[++a]);
+        } else if (std::strncmp(argv[a], "--jobs=", 7) == 0) {
+            jobs = parseJobsValue(argv[a] + 7);
+        } else {
             outDir = argv[a];
+        }
     }
+    // Every evaluation below (including the ones inside the extension
+    // studies) picks this up and fans out over the sweep engine.
+    analysis::setDefaultEvalJobs(jobs);
     std::filesystem::create_directories(outDir);
-    std::cout << "Writing exhibits to " << outDir << "/ ...\n\n";
+    std::cout << "Writing exhibits to " << outDir << "/ (sweep jobs: "
+              << jobs << ") ...\n\n";
+    const auto wall_start = std::chrono::steady_clock::now();
 
     const auto workloads = gen::standardWorkloads(full_size);
 
@@ -130,7 +163,13 @@ main(int argc, char **argv)
          analysis::renderAnalytical(
              analysis::analyticalStudy(workloads)));
 
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     std::cout << "Done: " << outDir << "/ contains every exhibit as "
-              << ".txt and .csv\n";
+              << ".txt and .csv (" << wall_s << " s wall clock, "
+              << jobs << " sweep job" << (jobs == 1 ? "" : "s")
+              << ")\n";
     return 0;
 }

@@ -5,10 +5,36 @@
 #include "coherence/inval_engine.hh"
 #include "coherence/limited_engine.hh"
 #include "gen/workload.hh"
+#include "sim/sweep.hh"
+#include "sim/thread_pool.hh"
 #include "trace/filter.hh"
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
 
 namespace dirsim::analysis
 {
+
+namespace
+{
+
+unsigned defaultJobs = 1;
+
+} // namespace
+
+void
+setDefaultEvalJobs(unsigned jobs)
+{
+    defaultJobs = jobs;
+}
+
+unsigned
+defaultEvalJobs()
+{
+    return defaultJobs;
+}
 
 namespace
 {
@@ -40,34 +66,169 @@ runWorkload(const gen::WorkloadConfig &cfg, const EvalOptions &opts,
     }
 }
 
+/** Builds one engine for a given unit count. */
+using EngineFactory =
+    std::function<std::unique_ptr<coherence::CoherenceEngine>(unsigned)>;
+
+/** Replays a shared trace, re-applying the lock-test filter. */
+class ReplaySource : public trace::RefSource
+{
+  public:
+    explicit ReplaySource(const trace::MemoryTrace &trace)
+        : _base(trace), _filtered(trace::dropLockTests(_base))
+    {
+    }
+
+    bool next(trace::TraceRecord &rec) override
+    {
+        return _filtered.next(rec);
+    }
+    void rewind() override { _filtered.rewind(); }
+
+  private:
+    trace::MemoryTraceSource _base;
+    trace::FilteredSource _filtered;
+};
+
+std::unique_ptr<trace::RefSource>
+replaySource(const trace::MemoryTrace &trace, bool dropLockTests)
+{
+    if (!dropLockTests)
+        return std::make_unique<trace::MemoryTraceSource>(trace);
+    return std::make_unique<ReplaySource>(trace);
+}
+
+/**
+ * Run a workload×engine matrix and harvest every engine's results.
+ *
+ * This is the one place serial and parallel evaluation meet.  With
+ * opts.jobs == 1 each workload streams once through a Simulator
+ * carrying all the engines (the paper's one-pass-per-trace shape).
+ * With more jobs the matrix fans out over a SweepRunner: phase one
+ * materialises each workload into an immutable MemoryTrace (in
+ * parallel, one job per workload), phase two runs one job per
+ * (workload, engine) cell, each replaying the shared trace zero-copy.
+ * Both paths visit identical reference streams in identical order per
+ * engine, so their results are bit-identical.
+ *
+ * @return results[workload][factory].
+ */
+std::vector<std::vector<coherence::EngineResults>>
+runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
+          const EvalOptions &opts,
+          const std::vector<EngineFactory> &factories)
+{
+    std::vector<std::vector<coherence::EngineResults>> results(
+        cfgs.size());
+    const unsigned jobs = sim::ThreadPool::resolveThreads(opts.jobs);
+    if (jobs <= 1 || cfgs.empty() || factories.empty()) {
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            const unsigned units = unitsFor(cfgs[c], opts);
+            sim::Simulator simulator(opts.sim);
+            for (const EngineFactory &factory : factories)
+                simulator.addEngine(factory(units));
+            runWorkload(cfgs[c], opts, simulator);
+            for (std::size_t e = 0; e < simulator.numEngines(); ++e)
+                results[c].push_back(simulator.engine(e).results());
+        }
+        return results;
+    }
+
+    // Phase 1: materialise each workload once.  The traces are
+    // immutable from here on and shared read-only by every engine job.
+    std::vector<trace::MemoryTrace> traces(cfgs.size());
+    {
+        std::mutex collect;
+        std::exception_ptr firstError;
+        sim::ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, cfgs.size())));
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            pool.submit([&, c] {
+                try {
+                    trace::MemoryTrace trace =
+                        gen::generateTrace(cfgs[c]);
+                    std::lock_guard<std::mutex> lock(collect);
+                    traces[c] = std::move(trace);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(collect);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+
+    // Phase 2: one sweep point per (workload, engine) cell.
+    sim::SweepRunner runner(jobs);
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        const unsigned units = unitsFor(cfgs[c], opts);
+        for (const EngineFactory &factory : factories) {
+            sim::SweepPoint point;
+            point.name = cfgs[c].name;
+            point.sim = opts.sim;
+            point.engines = [&factory, units] {
+                std::vector<
+                    std::unique_ptr<coherence::CoherenceEngine>>
+                    engines;
+                engines.push_back(factory(units));
+                return engines;
+            };
+            point.source = [trace = &traces[c],
+                            drop = opts.dropLockTests] {
+                return replaySource(*trace, drop);
+            };
+            runner.add(std::move(point));
+        }
+    }
+    std::vector<sim::SweepPointResult> points = runner.run();
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        for (std::size_t f = 0; f < factories.size(); ++f) {
+            results[c].push_back(std::move(
+                points[c * factories.size() + f].engines.front()));
+        }
+    }
+    return results;
+}
+
+EngineFactory
+invalFactory(const directory::DirEntryFactory *dirFactory = nullptr)
+{
+    return [dirFactory](unsigned units) {
+        coherence::InvalEngineConfig cfg;
+        cfg.nUnits = units;
+        cfg.dirFactory = dirFactory;
+        return std::make_unique<coherence::InvalEngine>(cfg);
+    };
+}
+
 } // namespace
 
 Evaluation
 evaluateWorkloads(const std::vector<gen::WorkloadConfig> &cfgs,
                   const EvalOptions &opts)
 {
+    const std::vector<EngineFactory> factories = {
+        invalFactory(),
+        [](unsigned units) {
+            return std::make_unique<coherence::LimitedEngine>(units, 1);
+        },
+        [](unsigned units) {
+            return std::make_unique<coherence::DragonEngine>(units);
+        },
+    };
+    const auto matrix = runMatrix(cfgs, opts, factories);
+
     Evaluation eval;
     eval.average.trace = "average";
-    for (const gen::WorkloadConfig &cfg : cfgs) {
-        const unsigned units = unitsFor(cfg, opts);
-
-        sim::Simulator simulator(opts.sim);
-        coherence::InvalEngineConfig inval_cfg;
-        inval_cfg.nUnits = units;
-        auto &inval = simulator.addEngine(
-            std::make_unique<coherence::InvalEngine>(inval_cfg));
-        auto &dir1nb = simulator.addEngine(
-            std::make_unique<coherence::LimitedEngine>(units, 1));
-        auto &dragon = simulator.addEngine(
-            std::make_unique<coherence::DragonEngine>(units));
-
-        runWorkload(cfg, opts, simulator);
-
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
         TraceEvaluation te;
-        te.trace = cfg.name;
-        te.inval = inval.results();
-        te.dir1nb = dir1nb.results();
-        te.dragon = dragon.results();
+        te.trace = cfgs[c].name;
+        te.inval = matrix[c][0];
+        te.dir1nb = matrix[c][1];
+        te.dragon = matrix[c][2];
 
         eval.average.inval.merge(te.inval);
         eval.average.dir1nb.merge(te.dir1nb);
@@ -100,19 +261,19 @@ limitedSweep(const std::vector<gen::WorkloadConfig> &cfgs,
              const std::vector<unsigned> &pointerCounts,
              const EvalOptions &opts)
 {
+    std::vector<EngineFactory> factories;
+    for (unsigned i : pointerCounts) {
+        factories.push_back([i](unsigned units) {
+            return std::make_unique<coherence::LimitedEngine>(units, i);
+        });
+    }
+    const auto matrix = runMatrix(cfgs, opts, factories);
+
     std::vector<coherence::EngineResults> merged(pointerCounts.size());
-    for (const gen::WorkloadConfig &cfg : cfgs) {
-        const unsigned units = unitsFor(cfg, opts);
-        sim::Simulator simulator(opts.sim);
-        std::vector<coherence::CoherenceEngine *> engines;
-        for (unsigned i : pointerCounts) {
-            engines.push_back(&simulator.addEngine(
-                std::make_unique<coherence::LimitedEngine>(units, i)));
-        }
-        runWorkload(cfg, opts, simulator);
-        for (std::size_t e = 0; e < engines.size(); ++e) {
-            merged[e].name = engines[e]->results().name;
-            merged[e].merge(engines[e]->results());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        for (std::size_t e = 0; e < pointerCounts.size(); ++e) {
+            merged[e].name = matrix[c][e].name;
+            merged[e].merge(matrix[c][e]);
         }
     }
     return merged;
@@ -123,17 +284,13 @@ invalWithDirectory(const std::vector<gen::WorkloadConfig> &cfgs,
                    const directory::DirEntryFactory &factory,
                    const EvalOptions &opts)
 {
+    const auto matrix =
+        runMatrix(cfgs, opts, {invalFactory(&factory)});
+
     coherence::EngineResults merged;
-    for (const gen::WorkloadConfig &cfg : cfgs) {
-        sim::Simulator simulator(opts.sim);
-        coherence::InvalEngineConfig inval_cfg;
-        inval_cfg.nUnits = unitsFor(cfg, opts);
-        inval_cfg.dirFactory = &factory;
-        auto &engine = simulator.addEngine(
-            std::make_unique<coherence::InvalEngine>(inval_cfg));
-        runWorkload(cfg, opts, simulator);
-        merged.name = engine.results().name;
-        merged.merge(engine.results());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        merged.name = matrix[c][0].name;
+        merged.merge(matrix[c][0]);
     }
     return merged;
 }
@@ -142,15 +299,15 @@ coherence::EngineResults
 berkeleyResults(const std::vector<gen::WorkloadConfig> &cfgs,
                 const EvalOptions &opts)
 {
+    const auto matrix = runMatrix(
+        cfgs, opts, {[](unsigned units) {
+            return std::make_unique<coherence::BerkeleyEngine>(units);
+        }});
+
     coherence::EngineResults merged;
-    for (const gen::WorkloadConfig &cfg : cfgs) {
-        sim::Simulator simulator(opts.sim);
-        auto &engine = simulator.addEngine(
-            std::make_unique<coherence::BerkeleyEngine>(
-                unitsFor(cfg, opts)));
-        runWorkload(cfg, opts, simulator);
-        merged.name = engine.results().name;
-        merged.merge(engine.results());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        merged.name = matrix[c][0].name;
+        merged.merge(matrix[c][0]);
     }
     return merged;
 }
@@ -160,19 +317,21 @@ invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
                       const mem::CacheGeometry &geometry,
                       const EvalOptions &opts)
 {
+    const auto matrix = runMatrix(
+        cfgs, opts, {[&geometry](unsigned units) {
+            coherence::InvalEngineConfig cfg;
+            cfg.nUnits = units;
+            cfg.cacheFactory = [&geometry]() {
+                return std::make_unique<mem::SetAssocTagStore>(
+                    geometry);
+            };
+            return std::make_unique<coherence::InvalEngine>(cfg);
+        }});
+
     coherence::EngineResults merged;
-    for (const gen::WorkloadConfig &cfg : cfgs) {
-        sim::Simulator simulator(opts.sim);
-        coherence::InvalEngineConfig inval_cfg;
-        inval_cfg.nUnits = unitsFor(cfg, opts);
-        inval_cfg.cacheFactory = [&geometry]() {
-            return std::make_unique<mem::SetAssocTagStore>(geometry);
-        };
-        auto &engine = simulator.addEngine(
-            std::make_unique<coherence::InvalEngine>(inval_cfg));
-        runWorkload(cfg, opts, simulator);
-        merged.name = engine.results().name;
-        merged.merge(engine.results());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        merged.name = matrix[c][0].name;
+        merged.merge(matrix[c][0]);
     }
     return merged;
 }

@@ -51,6 +51,21 @@ struct Evaluation
     TraceEvaluation average;
 };
 
+/**
+ * @name Process-wide default for EvalOptions::jobs.
+ *
+ * The extension studies build their EvalOptions internally; setting
+ * the default once (e.g.\ from a --jobs flag) fans every defaulted
+ * evaluation in the process out over the sweep engine without
+ * threading a parameter through each study's signature.  Explicitly
+ * constructed options can still override the field.  Not thread-safe:
+ * set it during start-up, before evaluations run.
+ * @{
+ */
+void setDefaultEvalJobs(unsigned jobs);
+unsigned defaultEvalJobs();
+/** @} */
+
 /** Options for evaluation runs. */
 struct EvalOptions
 {
@@ -59,6 +74,20 @@ struct EvalOptions
     bool dropLockTests = false;
     /** Units for the engines; 0 = use each workload's process count. */
     unsigned nUnits = 0;
+    /**
+     * Worker threads for the run.  1 (the default) streams every
+     * workload serially through one Simulator, exactly as the paper's
+     * single simulation pass does.  >1 fans the workload×engine
+     * matrix out over a sim::SweepRunner: each workload is
+     * materialised once into an immutable MemoryTrace, shared
+     * zero-copy across per-engine jobs.  0 means one thread per
+     * hardware thread.  Parallel runs are bit-identical to serial
+     * ones (the test suite enforces this).
+     *
+     * Initialised from defaultEvalJobs() (1 unless a driver raised
+     * it).
+     */
+    unsigned jobs = defaultEvalJobs();
 };
 
 /** Run the three standard engines over each workload. */

@@ -96,6 +96,13 @@ class EventCounts
     std::uint64_t writeHitsClean() const;
     /** @} */
 
+    bool
+    operator==(const EventCounts &other) const
+    {
+        return _totalRefs == other._totalRefs &&
+               _counts == other._counts;
+    }
+
   private:
     std::array<std::uint64_t, numEvents> _counts;
     std::uint64_t _totalRefs = 0;

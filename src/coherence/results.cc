@@ -20,4 +20,21 @@ EngineResults::merge(const EngineResults &other)
     replacementWriteBacks += other.replacementWriteBacks;
 }
 
+bool
+EngineResults::operator==(const EngineResults &other) const
+{
+    return name == other.name && events == other.events &&
+           whClnFanout == other.whClnFanout &&
+           wmClnFanout == other.wmClnFanout &&
+           holderGrowth12 == other.holderGrowth12 &&
+           displacementInvals == other.displacementInvals &&
+           dirDirectedInvals == other.dirDirectedInvals &&
+           dirBroadcasts == other.dirBroadcasts &&
+           dirOvershoot == other.dirOvershoot &&
+           homeLocalTransactions == other.homeLocalTransactions &&
+           homeRemoteTransactions == other.homeRemoteTransactions &&
+           replacementEvictions == other.replacementEvictions &&
+           replacementWriteBacks == other.replacementWriteBacks;
+}
+
 } // namespace dirsim::coherence

@@ -84,6 +84,9 @@ struct EngineResults
 
     /** Merge another run (e.g.\ averaging across traces). */
     void merge(const EngineResults &other);
+
+    /** Field-for-field equality (bit-identical runs compare equal). */
+    bool operator==(const EngineResults &other) const;
 };
 
 } // namespace dirsim::coherence

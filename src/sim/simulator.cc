@@ -1,9 +1,20 @@
 #include "sim/simulator.hh"
 
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace dirsim::sim
 {
+
+namespace
+{
+
+/** Records fetched per batch; large enough to amortise the virtual
+ *  nextBatch() call, small enough to stay in L1/L2. */
+constexpr std::size_t batchRecords = 4096;
+
+} // namespace
 
 Simulator::Simulator(const SimConfig &cfg) : _cfg(cfg) {}
 
@@ -28,21 +39,54 @@ Simulator::mapUnit(const trace::TraceRecord &rec)
 std::uint64_t
 Simulator::run(trace::RefSource &source)
 {
+    // The capacity shared by every engine; a unit index at or beyond
+    // it can reach no engine, so it is checked while mapping units —
+    // before the batch is dispatched anywhere.
+    unsigned capacity = std::numeric_limits<unsigned>::max();
+    const coherence::CoherenceEngine *smallest = nullptr;
+    for (const auto &engine : _engines) {
+        if (engine->numUnits() < capacity) {
+            capacity = engine->numUnits();
+            smallest = engine.get();
+        }
+    }
+
+    struct Access
+    {
+        unsigned unit;
+        trace::RefType type;
+        mem::BlockId block;
+    };
+
     std::uint64_t processed = 0;
-    trace::TraceRecord rec;
-    while (source.next(rec)) {
-        const unsigned unit = mapUnit(rec);
-        for (auto &engine : _engines) {
-            if (unit >= engine->numUnits()) {
+    std::vector<trace::TraceRecord> records(batchRecords);
+    std::vector<Access> batch(batchRecords);
+    std::size_t n;
+    while ((n = source.nextBatch(records.data(), batchRecords)) != 0) {
+        // Map (and validate) the whole batch first: if the trace
+        // overflows the smallest engine, no engine has seen any part
+        // of this batch yet, and resetting them undoes the prefix.
+        for (std::size_t i = 0; i < n; ++i) {
+            const trace::TraceRecord &rec = records[i];
+            const unsigned unit = mapUnit(rec);
+            if (unit >= capacity) {
+                for (auto &engine : _engines)
+                    engine->reset();
+                _unitMap.clear();
                 throw std::runtime_error(
                     "Simulator: trace uses more sharing units than "
-                    "engine '" + engine->results().name +
+                    "engine '" + smallest->results().name +
                     "' supports");
             }
-            engine->access(unit, rec.type,
-                           mem::blockId(rec.addr, _cfg.blockBytes));
+            batch[i] = {unit, rec.type,
+                        mem::blockId(rec.addr, _cfg.blockBytes)};
         }
-        ++processed;
+        for (auto &engine : _engines) {
+            for (std::size_t i = 0; i < n; ++i)
+                engine->access(batch[i].unit, batch[i].type,
+                               batch[i].block);
+        }
+        processed += n;
     }
     return processed;
 }

@@ -59,9 +59,17 @@ class Simulator
     /**
      * Stream @p source to exhaustion through every engine.
      *
+     * Records are fetched in batches and each engine consumes the
+     * whole batch in its own inner loop, so the per-record virtual
+     * dispatch of RefSource::next() is amortised and engine state
+     * stays hot in cache.
+     *
      * @return Number of references processed.
      * @throws std::runtime_error if the trace contains more sharing
-     *         units than an engine supports.
+     *         units than an engine supports.  Unit capacity is checked
+     *         before a batch reaches any engine, and on failure every
+     *         engine is reset() and the unit map cleared, so a failed
+     *         run leaves no partially-accumulated state behind.
      */
     std::uint64_t run(trace::RefSource &source);
 

@@ -1,0 +1,75 @@
+#include "sim/sweep.hh"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/thread_pool.hh"
+
+namespace dirsim::sim
+{
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : _jobs(ThreadPool::resolveThreads(jobs))
+{
+}
+
+std::size_t
+SweepRunner::add(SweepPoint point)
+{
+    if (!point.engines || !point.source)
+        throw std::invalid_argument(
+            "SweepRunner: point needs engine and source factories");
+    _points.push_back(std::move(point));
+    return _points.size() - 1;
+}
+
+std::vector<SweepPointResult>
+SweepRunner::run()
+{
+    // The collector: slots are pre-sized so completion order does not
+    // matter, and every write lands under the mutex so run() returns
+    // deterministic, submission-ordered output however the jobs were
+    // scheduled.
+    std::vector<SweepPointResult> results(_points.size());
+    std::vector<std::exception_ptr> errors(_points.size());
+    std::mutex collect;
+
+    {
+        ThreadPool pool(_jobs);
+        for (std::size_t i = 0; i < _points.size(); ++i) {
+            const SweepPoint &point = _points[i];
+            pool.submit([&point, &results, &errors, &collect, i] {
+                SweepPointResult res;
+                res.name = point.name;
+                std::exception_ptr error;
+                try {
+                    Simulator simulator(point.sim);
+                    for (auto &engine : point.engines())
+                        simulator.addEngine(std::move(engine));
+                    const auto source = point.source();
+                    res.refs = simulator.run(*source);
+                    res.engines.reserve(simulator.numEngines());
+                    for (std::size_t e = 0;
+                         e < simulator.numEngines(); ++e)
+                        res.engines.push_back(
+                            simulator.engine(e).results());
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(collect);
+                results[i] = std::move(res);
+                errors[i] = error;
+            });
+        }
+        pool.wait();
+    }
+
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+} // namespace dirsim::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parallel sweep engine for protocol×workload×configuration runs.
+ *
+ * The paper's evaluation is embarrassingly parallel: every
+ * (protocol engine, trace) pair is an independent state model run
+ * (Section 4.1), so a full reproduction — four protocols × three
+ * workloads × the sensitivity sweeps — fans out across threads with
+ * no coupling at all.  A SweepPoint describes one such run: a factory
+ * for the engines it owns and a factory for its reference source.
+ * The source factory either replays a shared immutable MemoryTrace
+ * (read-only, so zero-copy across threads) or regenerates a
+ * deterministic WorkloadSource from its seed.
+ *
+ * Results are collected under a mutex and returned in submission
+ * order, so a parallel sweep is bit-identical to running the same
+ * points serially — the test suite holds SweepRunner to exactly that.
+ */
+
+#ifndef DIRSIM_SIM_SWEEP_HH
+#define DIRSIM_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/engine.hh"
+#include "sim/simulator.hh"
+#include "trace/ref_source.hh"
+
+namespace dirsim::sim
+{
+
+/** One independent simulation job in a sweep. */
+struct SweepPoint
+{
+    std::string name; //!< Label carried through to the result.
+    SimConfig sim;    //!< Driver configuration for this point.
+
+    /**
+     * Builds the engines this point runs.  Invoked on the worker
+     * thread; the engines it returns are owned by the job and freed
+     * when the job completes, so the factory must not hand out
+     * engines shared with other points.
+     */
+    std::function<std::vector<std::unique_ptr<coherence::CoherenceEngine>>()>
+        engines;
+
+    /**
+     * Builds the reference stream.  Invoked on the worker thread.
+     * To share one trace across points, capture a `const MemoryTrace*`
+     * and return a MemoryTraceSource over it — replay never mutates
+     * the trace.  To regenerate instead, capture a WorkloadConfig and
+     * return a WorkloadSource (deterministic from its seed).
+     */
+    std::function<std::unique_ptr<trace::RefSource>()> source;
+};
+
+/** Outcome of one SweepPoint. */
+struct SweepPointResult
+{
+    std::string name;
+    std::uint64_t refs = 0; //!< References processed.
+    /** One result per engine, in the factory's order. */
+    std::vector<coherence::EngineResults> engines;
+};
+
+/**
+ * Fans SweepPoints out across a thread pool.
+ *
+ * Usage: add() every point, then run() once.  Points execute on
+ * worker threads (each job builds, runs and destroys its own engines
+ * and source); results come back in submission order regardless of
+ * completion order.  If any point throws, run() completes the
+ * remaining points and rethrows the earliest-submitted failure.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker threads; 0 = one per hardware thread. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Queue a point; returns its index into run()'s result vector. */
+    std::size_t add(SweepPoint point);
+
+    /**
+     * Run every queued point to completion.
+     *
+     * @return One SweepPointResult per add(), in submission order.
+     */
+    std::vector<SweepPointResult> run();
+
+    /** Worker threads the runner will use. */
+    unsigned jobs() const { return _jobs; }
+    std::size_t numPoints() const { return _points.size(); }
+
+  private:
+    unsigned _jobs;
+    std::vector<SweepPoint> _points;
+};
+
+} // namespace dirsim::sim
+
+#endif // DIRSIM_SIM_SWEEP_HH

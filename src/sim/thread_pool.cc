@@ -1,0 +1,78 @@
+#include "sim/thread_pool.hh"
+
+namespace dirsim::sim
+{
+
+unsigned
+ThreadPool::resolveThreads(unsigned nThreads)
+{
+    if (nThreads != 0)
+        return nThreads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned nThreads)
+{
+    const unsigned n = resolveThreads(nThreads);
+    _workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _taskReady.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+    }
+    _taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _allIdle.wait(lock,
+                  [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _taskReady.wait(lock, [this] {
+                return _stopping || !_queue.empty();
+            });
+            if (_queue.empty())
+                return; // _stopping and nothing left to drain.
+            task = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _allIdle.notify_all();
+        }
+    }
+}
+
+} // namespace dirsim::sim

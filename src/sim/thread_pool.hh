@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for the sweep engine.
+ *
+ * Workers pull std::function tasks from a mutex-guarded FIFO queue.
+ * The pool supports one pattern well — submit a batch of independent
+ * jobs, then wait for all of them — which is exactly what a
+ * protocol×workload sweep needs.  Tasks must not throw; callers wrap
+ * their work and capture exceptions themselves (SweepRunner does).
+ */
+
+#ifndef DIRSIM_SIM_THREAD_POOL_HH
+#define DIRSIM_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dirsim::sim
+{
+
+/** Fixed set of worker threads draining a task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param nThreads Worker count; 0 means one per hardware thread
+     *        (at least one).
+     */
+    explicit ThreadPool(unsigned nThreads = 0);
+
+    /** Waits for queued tasks to finish, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /** nThreads resolved the way the constructor resolves it. */
+    static unsigned resolveThreads(unsigned nThreads);
+
+  private:
+    void workerLoop();
+
+    std::mutex _mutex;
+    std::condition_variable _taskReady; //!< Signals workers.
+    std::condition_variable _allIdle;   //!< Signals wait().
+    std::deque<std::function<void()>> _queue;
+    std::vector<std::thread> _workers;
+    std::size_t _active = 0; //!< Tasks currently executing.
+    bool _stopping = false;
+};
+
+} // namespace dirsim::sim
+
+#endif // DIRSIM_SIM_THREAD_POOL_HH

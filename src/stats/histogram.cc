@@ -108,4 +108,19 @@ Histogram::toString() const
     return os.str();
 }
 
+bool
+Histogram::operator==(const Histogram &other) const
+{
+    if (_totalSamples != other._totalSamples ||
+        _totalWeight != other._totalWeight)
+        return false;
+    const std::size_t top =
+        std::max(_buckets.size(), other._buckets.size());
+    for (std::size_t v = 0; v < top; ++v) {
+        if (count(v) != other.count(v))
+            return false;
+    }
+    return true;
+}
+
 } // namespace dirsim::stats

@@ -60,6 +60,12 @@ class Histogram
     /** Render as "value: count (frac%)" lines, values 0..maxValue(). */
     std::string toString() const;
 
+    /**
+     * Exact sample-for-sample equality (trailing empty buckets are
+     * ignored, so growth history does not matter).
+     */
+    bool operator==(const Histogram &other) const;
+
   private:
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _totalSamples = 0;

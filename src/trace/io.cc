@@ -66,6 +66,24 @@ typeFromChar(char ch)
     }
 }
 
+/**
+ * Range-check a parsed text-trace field against its record width.
+ * A silent static_cast here once turned cpu 256 into cpu 0 — a
+ * different processor — so out-of-range values are an error.
+ */
+std::uint64_t
+checkField(long long value, std::uint64_t max, const char *field,
+           const std::string &line)
+{
+    if (value < 0 || static_cast<std::uint64_t>(value) > max) {
+        throw std::runtime_error(
+            "trace: " + std::string(field) + " " +
+            std::to_string(value) + " out of range (max " +
+            std::to_string(max) + ") in text record: " + line);
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
 } // namespace
 
 void
@@ -186,21 +204,27 @@ readText(std::istream &is)
             continue;
         }
         std::istringstream ls(line);
-        unsigned cpu = 0;
-        unsigned pid = 0;
+        // Parse into wide signed types so out-of-range (or negative)
+        // values survive extraction and can be rejected explicitly
+        // instead of wrapping into a valid-looking record.
+        long long cpu = 0;
+        long long pid = 0;
         char type_ch = '?';
         std::uint64_t addr = 0;
-        unsigned flags = 0;
+        long long flags = 0;
         ls >> cpu >> pid >> type_ch >> std::hex >> addr >> std::dec >>
             flags;
         if (ls.fail())
             throw std::runtime_error("trace: bad text record: " + line);
         TraceRecord rec;
-        rec.cpu = static_cast<std::uint8_t>(cpu);
-        rec.pid = static_cast<std::uint16_t>(pid);
+        rec.cpu = static_cast<std::uint8_t>(
+            checkField(cpu, 0xff, "cpu", line));
+        rec.pid = static_cast<std::uint16_t>(
+            checkField(pid, 0xffff, "pid", line));
         rec.type = typeFromChar(type_ch);
         rec.addr = addr;
-        rec.flags = static_cast<std::uint8_t>(flags);
+        rec.flags = static_cast<std::uint8_t>(
+            checkField(flags, 0xff, "flags", line));
         trace.append(rec);
     }
     return trace;

@@ -1,5 +1,8 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
+#include <cstring>
+
 namespace dirsim::trace
 {
 
@@ -22,6 +25,17 @@ MemoryTraceSource::next(TraceRecord &record)
         return false;
     record = _trace[_pos++];
     return true;
+}
+
+std::size_t
+MemoryTraceSource::nextBatch(TraceRecord *out, std::size_t max)
+{
+    const std::size_t n = std::min(max, _trace.size() - _pos);
+    if (n != 0)
+        std::memcpy(out, _trace.records().data() + _pos,
+                    n * sizeof(TraceRecord));
+    _pos += n;
+    return n;
 }
 
 } // namespace dirsim::trace

@@ -76,6 +76,7 @@ class MemoryTraceSource : public RefSource
     explicit MemoryTraceSource(const MemoryTrace &trace) : _trace(trace) {}
 
     bool next(TraceRecord &record) override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
     void rewind() override { _pos = 0; }
 
   private:

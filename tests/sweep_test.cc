@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and its supporting fixes.
+ *
+ * The central property: a sweep fanned out across worker threads is
+ * *bit-identical* to running the same points serially — same event
+ * counts, same histograms, same auxiliary counters, for every
+ * protocol engine.  Alongside: thread-pool basics, submission-ordered
+ * collection, error propagation, the fail-clean Simulator capacity
+ * check, and the text-trace range-check regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "analysis/evaluation.hh"
+#include "coherence/berkeley_engine.hh"
+#include "coherence/dragon_engine.hh"
+#include "coherence/inval_engine.hh"
+#include "coherence/limited_engine.hh"
+#include "gen/workload.hh"
+#include "gen/workloads.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "sim/thread_pool.hh"
+#include "trace/io.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace dirsim;
+
+/** The protocol engines under test, buildable by name. */
+const std::vector<std::string> protocolNames = {
+    "inval", "dir1nb", "dir2nb", "dragon", "berkeley"};
+
+std::unique_ptr<coherence::CoherenceEngine>
+makeEngine(const std::string &protocol, unsigned units)
+{
+    if (protocol == "inval") {
+        coherence::InvalEngineConfig cfg;
+        cfg.nUnits = units;
+        return std::make_unique<coherence::InvalEngine>(cfg);
+    }
+    if (protocol == "dir1nb")
+        return std::make_unique<coherence::LimitedEngine>(units, 1);
+    if (protocol == "dir2nb")
+        return std::make_unique<coherence::LimitedEngine>(units, 2);
+    if (protocol == "dragon")
+        return std::make_unique<coherence::DragonEngine>(units);
+    if (protocol == "berkeley")
+        return std::make_unique<coherence::BerkeleyEngine>(units);
+    throw std::logic_error("unknown protocol " + protocol);
+}
+
+/** Small but non-trivial versions of the three standard workloads. */
+std::vector<gen::WorkloadConfig>
+smallWorkloads()
+{
+    auto cfgs = gen::standardWorkloads();
+    for (auto &cfg : cfgs)
+        cfg.totalRefs = 40'000;
+    return cfgs;
+}
+
+TEST(ThreadPoolTest, RunsEveryTask)
+{
+    sim::ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable)
+{
+    sim::ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+/**
+ * Parallel sweep (15 points across 8 workers) versus the serial
+ * Simulator path, for every protocol engine.  Each workload is
+ * materialised once and shared read-only by its five protocol jobs.
+ */
+TEST(SweepTest, BitIdenticalToSerialForEveryProtocol)
+{
+    const auto cfgs = smallWorkloads();
+
+    // Serial reference: one Simulator per workload carrying all the
+    // protocol engines in one pass.
+    std::vector<std::vector<coherence::EngineResults>> serial;
+    for (const auto &cfg : cfgs) {
+        sim::Simulator simulator;
+        for (const auto &protocol : protocolNames)
+            simulator.addEngine(
+                makeEngine(protocol, cfg.space.nProcesses));
+        gen::WorkloadSource source(cfg);
+        simulator.run(source);
+        std::vector<coherence::EngineResults> results;
+        for (std::size_t e = 0; e < simulator.numEngines(); ++e)
+            results.push_back(simulator.engine(e).results());
+        serial.push_back(std::move(results));
+    }
+
+    // Parallel: one job per (workload, protocol), replaying a shared
+    // immutable trace, across 8 worker threads.
+    std::vector<trace::MemoryTrace> traces;
+    for (const auto &cfg : cfgs)
+        traces.push_back(gen::generateTrace(cfg));
+
+    sim::SweepRunner runner(8);
+    EXPECT_EQ(runner.jobs(), 8u);
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        for (const auto &protocol : protocolNames) {
+            sim::SweepPoint point;
+            point.name = cfgs[c].name + "/" + protocol;
+            point.engines = [protocol,
+                             units = cfgs[c].space.nProcesses] {
+                std::vector<
+                    std::unique_ptr<coherence::CoherenceEngine>>
+                    engines;
+                engines.push_back(makeEngine(protocol, units));
+                return engines;
+            };
+            point.source = [trace = &traces[c]] {
+                return std::make_unique<trace::MemoryTraceSource>(
+                    *trace);
+            };
+            runner.add(std::move(point));
+        }
+    }
+    ASSERT_EQ(runner.numPoints(), cfgs.size() * protocolNames.size());
+    const auto results = runner.run();
+
+    ASSERT_EQ(results.size(), cfgs.size() * protocolNames.size());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        for (std::size_t p = 0; p < protocolNames.size(); ++p) {
+            const auto &res = results[c * protocolNames.size() + p];
+            // Submission-ordered output.
+            EXPECT_EQ(res.name,
+                      cfgs[c].name + "/" + protocolNames[p]);
+            EXPECT_EQ(res.refs, cfgs[c].totalRefs);
+            ASSERT_EQ(res.engines.size(), 1u);
+            EXPECT_TRUE(res.engines[0] == serial[c][p])
+                << "parallel results diverged for " << res.name;
+        }
+    }
+}
+
+/**
+ * A job that regenerates its WorkloadSource from the seed must match
+ * one that replays the materialised trace.
+ */
+TEST(SweepTest, RegeneratedSourceMatchesReplayedTrace)
+{
+    const gen::WorkloadConfig cfg = smallWorkloads()[0];
+    const trace::MemoryTrace trace = gen::generateTrace(cfg);
+
+    sim::SweepRunner runner(4);
+    for (const bool regenerate : {false, true}) {
+        sim::SweepPoint point;
+        point.name = regenerate ? "regen" : "replay";
+        point.engines = [units = cfg.space.nProcesses] {
+            std::vector<std::unique_ptr<coherence::CoherenceEngine>>
+                engines;
+            engines.push_back(makeEngine("inval", units));
+            return engines;
+        };
+        if (regenerate) {
+            point.source = [cfg] {
+                return std::make_unique<gen::WorkloadSource>(cfg);
+            };
+        } else {
+            point.source = [trace = &trace] {
+                return std::make_unique<trace::MemoryTraceSource>(
+                    *trace);
+            };
+        }
+        runner.add(std::move(point));
+    }
+    const auto results = runner.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].engines[0] == results[1].engines[0]);
+}
+
+TEST(SweepTest, PropagatesJobFailure)
+{
+    const gen::WorkloadConfig cfg = smallWorkloads()[0];
+    sim::SweepRunner runner(2);
+    sim::SweepPoint point;
+    point.name = "too-few-units";
+    point.engines = [] {
+        std::vector<std::unique_ptr<coherence::CoherenceEngine>>
+            engines;
+        // Fewer units than the workload's process count.
+        engines.push_back(makeEngine("dragon", 2));
+        return engines;
+    };
+    point.source = [cfg] {
+        return std::make_unique<gen::WorkloadSource>(cfg);
+    };
+    runner.add(std::move(point));
+    EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(SweepTest, RejectsPointWithoutFactories)
+{
+    sim::SweepRunner runner(1);
+    EXPECT_THROW(runner.add(sim::SweepPoint{}),
+                 std::invalid_argument);
+}
+
+/** The analysis-layer parallel path equals its serial path exactly. */
+TEST(SweepTest, ParallelEvaluationMatchesSerial)
+{
+    const auto cfgs = smallWorkloads();
+
+    analysis::EvalOptions serial_opts;
+    serial_opts.jobs = 1;
+    const analysis::Evaluation serial =
+        analysis::evaluateWorkloads(cfgs, serial_opts);
+
+    analysis::EvalOptions parallel_opts;
+    parallel_opts.jobs = 8;
+    const analysis::Evaluation parallel =
+        analysis::evaluateWorkloads(cfgs, parallel_opts);
+
+    ASSERT_EQ(serial.traces.size(), parallel.traces.size());
+    for (std::size_t c = 0; c < serial.traces.size(); ++c) {
+        EXPECT_EQ(serial.traces[c].trace, parallel.traces[c].trace);
+        EXPECT_TRUE(serial.traces[c].inval == parallel.traces[c].inval);
+        EXPECT_TRUE(serial.traces[c].dir1nb ==
+                    parallel.traces[c].dir1nb);
+        EXPECT_TRUE(serial.traces[c].dragon ==
+                    parallel.traces[c].dragon);
+    }
+    EXPECT_TRUE(serial.average.inval == parallel.average.inval);
+    EXPECT_TRUE(serial.average.dir1nb == parallel.average.dir1nb);
+    EXPECT_TRUE(serial.average.dragon == parallel.average.dragon);
+}
+
+/** Same for the lock-test-filtered (Section 5.2) evaluation. */
+TEST(SweepTest, ParallelFilteredEvaluationMatchesSerial)
+{
+    const std::vector<gen::WorkloadConfig> cfgs = {smallWorkloads()[0]};
+
+    analysis::EvalOptions serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.dropLockTests = true;
+    const analysis::Evaluation serial =
+        analysis::evaluateWorkloads(cfgs, serial_opts);
+
+    analysis::EvalOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    parallel_opts.dropLockTests = true;
+    const analysis::Evaluation parallel =
+        analysis::evaluateWorkloads(cfgs, parallel_opts);
+
+    EXPECT_TRUE(serial.average.inval == parallel.average.inval);
+    EXPECT_TRUE(serial.average.dragon == parallel.average.dragon);
+}
+
+TEST(SweepTest, ParallelLimitedSweepMatchesSerial)
+{
+    const auto cfgs = smallWorkloads();
+    const std::vector<unsigned> pointers = {1, 2, 4};
+
+    analysis::EvalOptions serial_opts;
+    serial_opts.jobs = 1;
+    const auto serial =
+        analysis::limitedSweep(cfgs, pointers, serial_opts);
+
+    analysis::EvalOptions parallel_opts;
+    parallel_opts.jobs = 8;
+    const auto parallel =
+        analysis::limitedSweep(cfgs, pointers, parallel_opts);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t e = 0; e < serial.size(); ++e)
+        EXPECT_TRUE(serial[e] == parallel[e]);
+}
+
+/**
+ * A run that overflows an engine's unit capacity must leave every
+ * engine unmutated (the old driver threw mid-stream and left the
+ * engines with mutually inconsistent partial counts).
+ */
+TEST(SimulatorTest, FailedRunMutatesNothing)
+{
+    trace::MemoryTrace trace;
+    for (unsigned pid = 0; pid < 8; ++pid) {
+        trace::TraceRecord rec;
+        rec.addr = 0x1000 + 16 * pid;
+        rec.pid = static_cast<std::uint16_t>(pid);
+        rec.cpu = static_cast<std::uint8_t>(pid % 4);
+        rec.type = trace::RefType::Write;
+        trace.append(rec);
+    }
+
+    sim::Simulator simulator;
+    auto &big = simulator.addEngine(makeEngine("inval", 8));
+    auto &small = simulator.addEngine(makeEngine("dragon", 4));
+
+    trace::MemoryTraceSource source(trace);
+    EXPECT_THROW(simulator.run(source), std::runtime_error);
+
+    // Both engines reset — not just the one that overflowed.
+    EXPECT_EQ(big.results().events.totalRefs(), 0u);
+    EXPECT_EQ(small.results().events.totalRefs(), 0u);
+    EXPECT_EQ(simulator.unitsSeen(), 0u);
+
+    // The simulator stays usable: a fitting trace runs afterwards.
+    trace::MemoryTrace small_trace;
+    for (unsigned pid = 0; pid < 4; ++pid) {
+        trace::TraceRecord rec;
+        rec.addr = 0x2000 + 16 * pid;
+        rec.pid = static_cast<std::uint16_t>(pid);
+        rec.type = trace::RefType::Read;
+        small_trace.append(rec);
+    }
+    trace::MemoryTraceSource retry(small_trace);
+    EXPECT_EQ(simulator.run(retry), 4u);
+    EXPECT_EQ(big.results().events.totalRefs(), 4u);
+    EXPECT_EQ(small.results().events.totalRefs(), 4u);
+}
+
+/** Regression: readText must reject values wider than record fields. */
+TEST(TraceIoTest, ReadTextRejectsOutOfRangeFields)
+{
+    const auto parse = [](const std::string &text) {
+        std::istringstream is(text);
+        return trace::readText(is);
+    };
+
+    // cpu is 8-bit: 256 used to silently become cpu 0.
+    EXPECT_THROW(parse("256 0 R 0x10 0\n"), std::runtime_error);
+    // pid is 16-bit: 65536 used to silently become pid 0.
+    EXPECT_THROW(parse("0 65536 R 0x10 0\n"), std::runtime_error);
+    // flags is 8-bit.
+    EXPECT_THROW(parse("0 0 R 0x10 256\n"), std::runtime_error);
+    // Negative values must not wrap into valid records.
+    EXPECT_THROW(parse("-1 0 R 0x10 0\n"), std::runtime_error);
+    EXPECT_THROW(parse("0 -2 R 0x10 0\n"), std::runtime_error);
+
+    // Boundary values still parse exactly.
+    const trace::MemoryTrace trace = parse("255 65535 W 0xff 3\n");
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].cpu, 255u);
+    EXPECT_EQ(trace[0].pid, 65535u);
+    EXPECT_EQ(trace[0].flags, 3u);
+    EXPECT_TRUE(trace[0].isWrite());
+}
+
+/** Batched replay must deliver the identical record stream. */
+TEST(TraceIoTest, NextBatchMatchesNext)
+{
+    const gen::WorkloadConfig cfg = smallWorkloads()[0];
+    const trace::MemoryTrace trace = gen::generateTrace(cfg);
+
+    trace::MemoryTraceSource one_by_one(trace);
+    trace::MemoryTraceSource batched(trace);
+    std::vector<trace::TraceRecord> batch(1000);
+    std::size_t total = 0;
+    std::size_t n;
+    while ((n = batched.nextBatch(batch.data(), batch.size())) != 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            trace::TraceRecord rec;
+            ASSERT_TRUE(one_by_one.next(rec));
+            EXPECT_TRUE(rec == batch[i]);
+        }
+        total += n;
+    }
+    trace::TraceRecord rec;
+    EXPECT_FALSE(one_by_one.next(rec));
+    EXPECT_EQ(total, trace.size());
+}
+
+} // namespace
