@@ -31,6 +31,7 @@
 
 #include "analysis/evaluation.hh"
 #include "analysis/exhibits.hh"
+#include "cli/parse.hh"
 #include "gen/workloads.hh"
 
 namespace dirsim::bench
@@ -48,14 +49,7 @@ sweepJobs()
 inline unsigned
 parseJobsValue(const char *text)
 {
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(text, &end, 10);
-    if (end == text || *end != '\0') {
-        std::cerr << "error: invalid --jobs value '" << text
-                  << "' (expected a non-negative integer)\n";
-        std::exit(2);
-    }
-    return static_cast<unsigned>(v);
+    return cli::parseUnsigned(text, "--jobs");
 }
 
 /**

@@ -17,7 +17,6 @@
  * Usage: scalability_study [maxCpus]   (default 32, power of two)
  */
 
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "analysis/exhibits.hh"
 #include "analysis/extensions.hh"
 #include "bus/bus_model.hh"
+#include "cli/parse.hh"
 #include "directory/storage.hh"
 #include "sim/cost_model.hh"
 #include "stats/table.hh"
@@ -36,11 +36,7 @@ main(int argc, char **argv)
 
     unsigned max_cpus = 32;
     if (argc > 1)
-        max_cpus = static_cast<unsigned>(std::atoi(argv[1]));
-    if (max_cpus < 2 || max_cpus > 64) {
-        std::cerr << "maxCpus must be in [2, 64]\n";
-        return 1;
-    }
+        max_cpus = cli::parseUnsignedInRange(argv[1], "maxCpus", 2, 64);
 
     std::vector<unsigned> counts;
     for (unsigned n = 2; n <= max_cpus; n *= 2)

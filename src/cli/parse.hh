@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Strict command-line number parsing shared by the exhibit binaries.
+ *
+ * std::atoi-style parsing silently maps garbage and negative input to
+ * values that pass later range checks ("-3abc" → huge unsigned, "x" →
+ * 0); every binary taking a numeric argument uses these helpers
+ * instead, so bad input always dies with a message naming the flag.
+ * Header-only: the examples and benches link different library sets,
+ * and a parse helper is not worth a library of its own.
+ */
+
+#ifndef DIRSIM_CLI_PARSE_HH
+#define DIRSIM_CLI_PARSE_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace dirsim::cli
+{
+
+/**
+ * Parse @p text as a non-negative decimal integer.
+ *
+ * Accepts only an all-digit string (no sign, no trailing junk, no
+ * empty string); anything else prints an error naming @p what and
+ * exits with status 2, the convention the benches already use for
+ * bad flags.
+ */
+inline unsigned
+parseUnsigned(const char *text, const std::string &what)
+{
+    const std::string s = text == nullptr ? "" : text;
+    bool ok = !s.empty();
+    unsigned long value = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') {
+            ok = false;
+            break;
+        }
+        value = value * 10 + static_cast<unsigned long>(c - '0');
+        if (value > 0xffffffffUL) {
+            ok = false;
+            break;
+        }
+    }
+    if (!ok) {
+        std::cerr << "error: invalid " << what << " value '" << s
+                  << "' (expected a non-negative integer)\n";
+        std::exit(2);
+    }
+    return static_cast<unsigned>(value);
+}
+
+/**
+ * parseUnsigned(), then require the value to lie in [@p lo, @p hi]
+ * (inclusive); out-of-range input exits with status 2 and a message
+ * stating the accepted range.
+ */
+inline unsigned
+parseUnsignedInRange(const char *text, const std::string &what,
+                     unsigned lo, unsigned hi)
+{
+    const unsigned value = parseUnsigned(text, what);
+    if (value < lo || value > hi) {
+        std::cerr << "error: " << what << " must be in [" << lo << ", "
+                  << hi << "], got " << value << "\n";
+        std::exit(2);
+    }
+    return value;
+}
+
+} // namespace dirsim::cli
+
+#endif // DIRSIM_CLI_PARSE_HH

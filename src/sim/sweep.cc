@@ -27,49 +27,27 @@ SweepRunner::add(SweepPoint point)
 std::vector<SweepPointResult>
 SweepRunner::run()
 {
-    // The collector: slots are pre-sized so completion order does not
-    // matter, and every write lands under the mutex so run() returns
-    // deterministic, submission-ordered output however the jobs were
-    // scheduled.
-    std::vector<SweepPointResult> results(_points.size());
-    std::vector<std::exception_ptr> errors(_points.size());
-    std::mutex collect;
-
-    {
-        ThreadPool pool(_jobs);
-        for (std::size_t i = 0; i < _points.size(); ++i) {
-            const SweepPoint &point = _points[i];
-            pool.submit([&point, &results, &errors, &collect, i] {
-                SweepPointResult res;
-                res.name = point.name;
-                std::exception_ptr error;
-                try {
-                    Simulator simulator(point.sim);
-                    for (auto &engine : point.engines())
-                        simulator.addEngine(std::move(engine));
-                    const auto source = point.source();
-                    res.refs = simulator.run(*source);
-                    res.engines.reserve(simulator.numEngines());
-                    for (std::size_t e = 0;
-                         e < simulator.numEngines(); ++e)
-                        res.engines.push_back(
-                            simulator.engine(e).results());
-                } catch (...) {
-                    error = std::current_exception();
-                }
-                std::lock_guard<std::mutex> lock(collect);
-                results[i] = std::move(res);
-                errors[i] = error;
-            });
-        }
-        pool.wait();
+    // Each point becomes one task; runOrdered() provides the
+    // deterministic submission-ordered collection, so a parallel
+    // sweep is bit-identical to a serial one.
+    std::vector<std::function<SweepPointResult()>> tasks;
+    tasks.reserve(_points.size());
+    for (const SweepPoint &point : _points) {
+        tasks.push_back([&point] {
+            SweepPointResult res;
+            res.name = point.name;
+            Simulator simulator(point.sim);
+            for (auto &engine : point.engines())
+                simulator.addEngine(std::move(engine));
+            const auto source = point.source();
+            res.refs = simulator.run(*source);
+            res.engines.reserve(simulator.numEngines());
+            for (std::size_t e = 0; e < simulator.numEngines(); ++e)
+                res.engines.push_back(simulator.engine(e).results());
+            return res;
+        });
     }
-
-    for (const std::exception_ptr &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
-    }
-    return results;
+    return runOrdered<SweepPointResult>(_jobs, tasks);
 }
 
 } // namespace dirsim::sim

@@ -21,17 +21,69 @@
 #define DIRSIM_SIM_SWEEP_HH
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "coherence/engine.hh"
 #include "sim/simulator.hh"
+#include "sim/thread_pool.hh"
 #include "trace/ref_source.hh"
 
 namespace dirsim::sim
 {
+
+/**
+ * Run independent tasks on a ThreadPool and return their results in
+ * submission order.
+ *
+ * This is the deterministic-collection core shared by SweepRunner and
+ * timing::runTimedSweep: result slots are pre-sized so completion
+ * order cannot reorder output, every write lands under one mutex, and
+ * if tasks throw, the earliest-submitted failure is rethrown after
+ * all tasks have completed.  @p Result must be default-constructible
+ * and movable.
+ *
+ * @param jobs Worker threads as given to ThreadPool (0 = one per
+ *             hardware thread).
+ */
+template <typename Result>
+std::vector<Result>
+runOrdered(unsigned jobs,
+           const std::vector<std::function<Result()>> &tasks)
+{
+    std::vector<Result> results(tasks.size());
+    std::vector<std::exception_ptr> errors(tasks.size());
+    std::mutex collect;
+
+    {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            pool.submit([&results, &errors, &collect, &tasks, i] {
+                Result res{};
+                std::exception_ptr error;
+                try {
+                    res = tasks[i]();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(collect);
+                results[i] = std::move(res);
+                errors[i] = error;
+            });
+        }
+        pool.wait();
+    }
+
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
 
 /** One independent simulation job in a sweep. */
 struct SweepPoint

@@ -1,7 +1,45 @@
 #include "sim/thread_pool.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
 namespace dirsim::sim
 {
+
+namespace
+{
+
+/**
+ * Run a task at the worker boundary.  Tasks must not throw (see the
+ * contract in thread_pool.hh); if one does, an unwinding exception
+ * would cross the std::thread boundary and std::terminate with no
+ * context, so report what escaped and abort deliberately.
+ */
+void
+runGuarded(const std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "dirsim::sim::ThreadPool: task threw '%s'; tasks "
+                     "must not throw (see src/sim/thread_pool.hh) — "
+                     "wrap work and capture exceptions as "
+                     "sim::runOrdered does\n",
+                     e.what());
+        std::abort();
+    } catch (...) {
+        std::fprintf(stderr,
+                     "dirsim::sim::ThreadPool: task threw a "
+                     "non-std::exception; tasks must not throw (see "
+                     "src/sim/thread_pool.hh) — wrap work and capture "
+                     "exceptions as sim::runOrdered does\n");
+        std::abort();
+    }
+}
+
+} // namespace
 
 unsigned
 ThreadPool::resolveThreads(unsigned nThreads)
@@ -65,7 +103,7 @@ ThreadPool::workerLoop()
             _queue.pop_front();
             ++_active;
         }
-        task();
+        runGuarded(task);
         {
             std::lock_guard<std::mutex> lock(_mutex);
             --_active;

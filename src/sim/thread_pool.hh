@@ -6,7 +6,11 @@
  * The pool supports one pattern well — submit a batch of independent
  * jobs, then wait for all of them — which is exactly what a
  * protocol×workload sweep needs.  Tasks must not throw; callers wrap
- * their work and capture exceptions themselves (SweepRunner does).
+ * their work and capture exceptions themselves (runOrdered does).  A
+ * task that does throw is a contract violation: the worker reports
+ * the exception's message to stderr and aborts the process, rather
+ * than letting std::thread's default std::terminate hide what
+ * happened.
  */
 
 #ifndef DIRSIM_SIM_THREAD_POOL_HH

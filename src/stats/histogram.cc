@@ -1,6 +1,7 @@
 #include "stats/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace dirsim::stats
@@ -85,6 +86,25 @@ Histogram::fracAtMost(std::size_t value) const
     for (std::size_t v = 0; v < last; ++v)
         acc += _buckets[v];
     return static_cast<double>(acc) / static_cast<double>(_totalSamples);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (_totalSamples == 0)
+        return 0.0;
+    const double exact =
+        p / 100.0 * static_cast<double>(_totalSamples);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(exact));
+    rank = std::clamp<std::uint64_t>(rank, 1, _totalSamples);
+    std::uint64_t acc = 0;
+    for (std::size_t v = 0; v < _buckets.size(); ++v) {
+        acc += _buckets[v];
+        if (acc >= rank)
+            return static_cast<double>(v);
+    }
+    return static_cast<double>(maxValue());
 }
 
 std::uint64_t

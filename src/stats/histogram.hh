@@ -49,6 +49,13 @@ class Histogram
     /** Fraction of samples with value less than or equal to @p value. */
     double fracAtMost(std::size_t value) const;
     /**
+     * Nearest-rank percentile: the smallest sample value whose
+     * cumulative count reaches ceil(p/100 × totalSamples), with the
+     * rank clamped to at least 1.  p = 0 therefore yields the minimum
+     * sample, p = 100 the maximum; an empty histogram yields 0.
+     */
+    double percentile(double p) const;
+    /**
      * Sum over samples of max(value - threshold, 0).
      *
      * This is the number of *extra* sequential operations incurred when

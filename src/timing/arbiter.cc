@@ -1,0 +1,152 @@
+#include "timing/arbiter.hh"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace dirsim::timing
+{
+
+const std::string &
+disciplineName(Discipline d)
+{
+    static const std::string fcfs = "fcfs";
+    static const std::string rr = "round-robin";
+    static const std::string prio = "fixed-priority";
+    switch (d) {
+      case Discipline::FCFS:
+        return fcfs;
+      case Discipline::RoundRobin:
+        return rr;
+      case Discipline::FixedPriority:
+        return prio;
+    }
+    return fcfs;
+}
+
+Discipline
+parseDiscipline(const std::string &name)
+{
+    if (name == "fcfs")
+        return Discipline::FCFS;
+    if (name == "round-robin" || name == "rr")
+        return Discipline::RoundRobin;
+    if (name == "fixed-priority" || name == "priority")
+        return Discipline::FixedPriority;
+    throw std::invalid_argument(
+        "unknown bus discipline '" + name +
+        "' (expected fcfs, round-robin or fixed-priority)");
+}
+
+namespace
+{
+
+/** Oldest request first: arrival cycle, then global issue order. */
+class FcfsArbiter final : public BusArbiter
+{
+  public:
+    std::size_t
+    pick(const std::vector<BusRequest> &waiting) override
+    {
+        assert(!waiting.empty());
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            const BusRequest &r = waiting[i];
+            const BusRequest &b = waiting[best];
+            if (r.arrival < b.arrival ||
+                (r.arrival == b.arrival && r.seq < b.seq))
+                best = i;
+        }
+        return best;
+    }
+
+    Discipline discipline() const override { return Discipline::FCFS; }
+};
+
+/** Rotating priority: scan starts one past the last CPU served. */
+class RoundRobinArbiter final : public BusArbiter
+{
+  public:
+    explicit RoundRobinArbiter(unsigned nCpus)
+        : _nCpus(nCpus), _last(nCpus - 1)
+    {
+    }
+
+    std::size_t
+    pick(const std::vector<BusRequest> &waiting) override
+    {
+        assert(!waiting.empty());
+        std::size_t best = waiting.size();
+        unsigned bestDist = std::numeric_limits<unsigned>::max();
+        for (std::size_t i = 0; i < waiting.size(); ++i) {
+            // Distance around the ring from the slot after the last
+            // grantee; the smallest distance wins.
+            const unsigned dist =
+                (waiting[i].cpu + _nCpus - (_last + 1) % _nCpus) %
+                _nCpus;
+            if (dist < bestDist) {
+                bestDist = dist;
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    void granted(unsigned cpu) override { _last = cpu; }
+    void reset() override { _last = _nCpus - 1; }
+
+    Discipline
+    discipline() const override
+    {
+        return Discipline::RoundRobin;
+    }
+
+  private:
+    unsigned _nCpus;
+    /** Last grantee; starts at nCpus-1 so CPU 0 benefits first. */
+    unsigned _last;
+};
+
+/** Lowest port index wins, always. */
+class FixedPriorityArbiter final : public BusArbiter
+{
+  public:
+    std::size_t
+    pick(const std::vector<BusRequest> &waiting) override
+    {
+        assert(!waiting.empty());
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            if (waiting[i].cpu < waiting[best].cpu)
+                best = i;
+        }
+        return best;
+    }
+
+    Discipline
+    discipline() const override
+    {
+        return Discipline::FixedPriority;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BusArbiter>
+BusArbiter::make(Discipline d, unsigned nCpus)
+{
+    if (nCpus == 0)
+        throw std::invalid_argument(
+            "BusArbiter::make: need at least one CPU");
+    switch (d) {
+      case Discipline::FCFS:
+        return std::make_unique<FcfsArbiter>();
+      case Discipline::RoundRobin:
+        return std::make_unique<RoundRobinArbiter>(nCpus);
+      case Discipline::FixedPriority:
+        return std::make_unique<FixedPriorityArbiter>();
+    }
+    throw std::invalid_argument("BusArbiter::make: bad discipline");
+}
+
+} // namespace dirsim::timing

@@ -1,0 +1,51 @@
+#include "timing/event_queue.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dirsim::timing
+{
+
+bool
+EventQueue::before(const Event &a, const Event &b)
+{
+    if (a.time != b.time)
+        return a.time < b.time;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    if (a.cpu != b.cpu)
+        return a.cpu < b.cpu;
+    return a.seq < b.seq;
+}
+
+void
+EventQueue::push(std::uint64_t time, EventKind kind, unsigned cpu)
+{
+    _heap.push_back(Event{time, kind, cpu, _nextSeq++});
+    std::push_heap(_heap.begin(), _heap.end(),
+                   [](const Event &a, const Event &b) {
+                       return before(b, a); // Min-heap.
+                   });
+}
+
+Event
+EventQueue::pop()
+{
+    assert(!_heap.empty());
+    std::pop_heap(_heap.begin(), _heap.end(),
+                  [](const Event &a, const Event &b) {
+                      return before(b, a);
+                  });
+    const Event front = _heap.back();
+    _heap.pop_back();
+    return front;
+}
+
+std::uint64_t
+EventQueue::nextTime() const
+{
+    assert(!_heap.empty());
+    return _heap.front().time;
+}
+
+} // namespace dirsim::timing

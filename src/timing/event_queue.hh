@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Discrete-event queue and clock for the timed bus simulator.
+ *
+ * The static cost models of sim/cost_model.hh never advance time; the
+ * timed subsystem does, and everything rides on one invariant: events
+ * are delivered in a *deterministic total order*.  Two runs of the
+ * same configuration — serial or fanned out across sweep workers —
+ * must replay the identical event sequence, so the ordering key is
+ * (time, kind, cpu, sequence) with no dependence on heap insertion
+ * history or pointer values.
+ *
+ * Bus completions sort before CPU-ready events at the same cycle so a
+ * transaction that frees the bus and the requests that arrive on that
+ * same cycle all reach the arbiter within one grant phase.
+ */
+
+#ifndef DIRSIM_TIMING_EVENT_QUEUE_HH
+#define DIRSIM_TIMING_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dirsim::timing
+{
+
+/** What a scheduled event wakes up. */
+enum class EventKind : std::uint8_t
+{
+    BusComplete = 0, //!< The transaction on the bus finished.
+    CpuReady = 1,    //!< A CPU is ready to issue its next action.
+};
+
+/** One scheduled wake-up. */
+struct Event
+{
+    std::uint64_t time = 0;
+    EventKind kind = EventKind::CpuReady;
+    unsigned cpu = 0;       //!< Port index the event belongs to.
+    std::uint64_t seq = 0;  //!< Schedule order; final tie-breaker.
+};
+
+/**
+ * Min-priority queue of Events with the deterministic ordering
+ * described in the file header.  A plain binary heap over a vector;
+ * the sequence number is assigned by push() so identical (time, kind,
+ * cpu) keys still pop in schedule order.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p kind for @p cpu at absolute cycle @p time. */
+    void push(std::uint64_t time, EventKind kind, unsigned cpu);
+
+    /** Remove and return the front event; queue must not be empty. */
+    Event pop();
+
+    /** Time of the front event; queue must not be empty. */
+    std::uint64_t nextTime() const;
+
+    bool empty() const { return _heap.empty(); }
+    std::size_t size() const { return _heap.size(); }
+
+  private:
+    static bool before(const Event &a, const Event &b);
+
+    std::vector<Event> _heap;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace dirsim::timing
+
+#endif // DIRSIM_TIMING_EVENT_QUEUE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-CPU request port for the timed bus.
+ *
+ * A RequestPort owns one CPU's slice of the reference stream (the
+ * demuxed per-CPU trace), its cursor, the in-flight RefCharge while
+ * the CPU is stalled, and the stall/finish accounting that becomes
+ * the TimedRun's per-CPU statistics.  The port is a passive state
+ * machine — TimedBusSim drives it from the event loop:
+ *
+ *   Running --(ref needs the bus)--> Stalled(issue txn 1)
+ *   Stalled --(txn complete, more txns)--> Stalled(issue next)
+ *   Stalled --(last txn complete)--> Running
+ *
+ * The issuing processor does not proceed past a chargeable reference
+ * until every one of its bus tenures has been granted and completed —
+ * the blocking-processor model both service-discipline papers assume.
+ */
+
+#ifndef DIRSIM_TIMING_PORT_HH
+#define DIRSIM_TIMING_PORT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/block.hh"
+#include "timing/transactions.hh"
+#include "trace/record.hh"
+
+namespace dirsim::timing
+{
+
+/** Per-CPU timing statistics of one TimedRun. */
+struct CpuTimedStats
+{
+    std::uint64_t refs = 0;         //!< References executed.
+    std::uint64_t transactions = 0; //!< Bus tenures issued.
+    /** Cycles from issuing a chargeable reference to resuming after
+     *  its last transaction (queueing + service + off-bus waits). */
+    std::uint64_t stallCycles = 0;
+    std::uint64_t finishCycle = 0;  //!< Cycle the last reference retired.
+
+    /** Fraction of this CPU's active time spent stalled on the bus. */
+    double
+    stallFraction() const
+    {
+        return finishCycle == 0
+                   ? 0.0
+                   : static_cast<double>(stallCycles) /
+                         static_cast<double>(finishCycle);
+    }
+
+    bool operator==(const CpuTimedStats &other) const = default;
+};
+
+/** One pre-classified reference of a port's stream. */
+struct PortRef
+{
+    unsigned unit;       //!< Engine sharing-domain index.
+    trace::RefType type;
+    mem::BlockId block;
+};
+
+/** One CPU's interface to the timed bus (see file header). */
+class RequestPort
+{
+  public:
+    explicit RequestPort(unsigned cpu) : _cpu(cpu) {}
+
+    unsigned cpu() const { return _cpu; }
+
+    /** Append one demuxed reference to this CPU's stream. */
+    void
+    appendRef(const PortRef &ref)
+    {
+        _refs.push_back(ref);
+    }
+
+    /** References remain to execute. */
+    bool hasMoreRefs() const { return _next < _refs.size(); }
+
+    /** Consume the next reference (hasMoreRefs() must hold). */
+    const PortRef &takeRef();
+
+    /**
+     * Begin a stall: the reference consumed at cycle @p now produced
+     * @p charge (must be non-empty).  Transactions are then drained
+     * with nextTxn() / hasPendingTxn().
+     */
+    void beginStall(const RefCharge &charge, std::uint64_t now);
+
+    /** A transaction is still waiting to be issued. */
+    bool
+    hasPendingTxn() const
+    {
+        return _txnNext < _charge.count;
+    }
+
+    /** Issue the next transaction of the in-flight charge. */
+    const TxnCharge &nextTxn();
+
+    /** End the stall at cycle @p now (all transactions completed). */
+    void endStall(std::uint64_t now);
+
+    /** Record that this CPU retired its whole stream at @p now. */
+    void finish(std::uint64_t now) { _stats.finishCycle = now; }
+
+    const CpuTimedStats &stats() const { return _stats; }
+
+  private:
+    unsigned _cpu;
+    std::vector<PortRef> _refs;
+    std::size_t _next = 0;
+
+    RefCharge _charge;
+    unsigned _txnNext = 0;
+    std::uint64_t _stallStart = 0;
+
+    CpuTimedStats _stats;
+};
+
+} // namespace dirsim::timing
+
+#endif // DIRSIM_TIMING_PORT_HH

@@ -1,0 +1,32 @@
+#include "timing/sweep.hh"
+
+#include <stdexcept>
+
+#include "sim/sweep.hh"
+
+namespace dirsim::timing
+{
+
+std::vector<TimedRun>
+runTimedSweep(const std::vector<TimedSweepPoint> &points, unsigned jobs)
+{
+    std::vector<std::function<TimedRun()>> tasks;
+    tasks.reserve(points.size());
+    for (const TimedSweepPoint &point : points) {
+        if (!point.engine || !point.source)
+            throw std::invalid_argument(
+                "runTimedSweep: point '" + point.name +
+                "' needs engine and source factories");
+        tasks.push_back([&point] {
+            TimedBusSim sim(point.config, point.engine());
+            const auto source = point.source();
+            TimedRun run = sim.run(*source);
+            run.name = point.name;
+            return run;
+        });
+    }
+    return sim::runOrdered<TimedRun>(
+        sim::ThreadPool::resolveThreads(jobs), tasks);
+}
+
+} // namespace dirsim::timing

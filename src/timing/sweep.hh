@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parallel sweep of timed bus runs.
+ *
+ * A TimedSweepPoint is the timed analogue of sim::SweepPoint: a
+ * (scheme, bus, discipline) configuration plus factories for the
+ * engine and reference stream it replays.  Points are independent —
+ * each job builds, runs and destroys its own TimedBusSim — so they
+ * fan out over sim::runOrdered and come back in submission order,
+ * bit-identical whatever the worker count (tests/timing_test.cc holds
+ * runTimedSweep to exactly that).
+ */
+
+#ifndef DIRSIM_TIMING_SWEEP_HH
+#define DIRSIM_TIMING_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/engine.hh"
+#include "timing/timed_bus.hh"
+#include "trace/ref_source.hh"
+
+namespace dirsim::timing
+{
+
+/** One independent timed run in a sweep. */
+struct TimedSweepPoint
+{
+    std::string name;    //!< Label carried into TimedRun::name.
+    TimedBusConfig config;
+
+    /**
+     * Builds the engine this point runs (must match the scheme, as
+     * with sim::computeCost).  Invoked on the worker thread; the
+     * engine is owned by the job, so the factory must not hand out an
+     * engine shared with other points.
+     */
+    std::function<std::unique_ptr<coherence::CoherenceEngine>()> engine;
+
+    /**
+     * Builds the reference stream.  Invoked on the worker thread;
+     * same sharing rules as sim::SweepPoint::source.
+     */
+    std::function<std::unique_ptr<trace::RefSource>()> source;
+};
+
+/**
+ * Run every point to completion across @p jobs worker threads
+ * (0 = one per hardware thread).
+ *
+ * @return One TimedRun per point, in submission order.
+ * @throws std::invalid_argument if a point lacks a factory; whatever
+ *         a failing point threw otherwise (earliest-submitted
+ *         failure, after all points have completed).
+ */
+std::vector<TimedRun> runTimedSweep(
+    const std::vector<TimedSweepPoint> &points, unsigned jobs = 0);
+
+} // namespace dirsim::timing
+
+#endif // DIRSIM_TIMING_SWEEP_HH

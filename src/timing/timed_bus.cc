@@ -1,0 +1,236 @@
+#include "timing/timed_bus.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "timing/event_queue.hh"
+#include "timing/transactions.hh"
+
+namespace dirsim::timing
+{
+
+TimedBusModel
+timedPipelinedBus(const bus::BusPrimitives &prim)
+{
+    // Separate address/data paths release the bus during the memory
+    // access; the requester still waits for the data.
+    return TimedBusModel{bus::pipelinedBus(prim), prim.waitMemory};
+}
+
+TimedBusModel
+timedNonPipelinedBus(const bus::BusPrimitives &prim)
+{
+    // The multiplexed bus is held during the access, so the wait is
+    // already part of the occupancy.
+    return TimedBusModel{bus::nonPipelinedBus(prim), 0};
+}
+
+double
+TimedRun::busUtilization() const
+{
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(busBusyCycles) /
+                               static_cast<double>(makespan);
+}
+
+double
+TimedRun::busCyclesPerRef() const
+{
+    return refs == 0 ? 0.0
+                     : static_cast<double>(busBusyCycles) /
+                           static_cast<double>(refs);
+}
+
+double
+TimedRun::effectiveCyclesPerRef() const
+{
+    if (refs == 0)
+        return 0.0;
+    std::uint64_t active = 0;
+    for (const CpuTimedStats &cpu : cpus)
+        active += cpu.finishCycle;
+    return static_cast<double>(active) / static_cast<double>(refs);
+}
+
+bool
+TimedRun::identicalTo(const TimedRun &other) const
+{
+    return scheme == other.scheme && bus == other.bus &&
+           discipline == other.discipline && name == other.name &&
+           nCpus == other.nCpus && refs == other.refs &&
+           makespan == other.makespan &&
+           busBusyCycles == other.busBusyCycles &&
+           transactions == other.transactions &&
+           queueDelay == other.queueDelay && cpus == other.cpus &&
+           engine == other.engine;
+}
+
+TimedBusSim::TimedBusSim(
+    const TimedBusConfig &cfg,
+    std::unique_ptr<coherence::CoherenceEngine> engine)
+    : _cfg(cfg), _engine(std::move(engine))
+{
+    if (!_engine)
+        throw std::invalid_argument("TimedBusSim: engine is null");
+}
+
+TimedBusSim::~TimedBusSim() = default;
+
+TimedRun
+TimedBusSim::run(trace::RefSource &source)
+{
+    // Validates the cost options before anything runs.
+    TransactionModel model(_cfg.scheme, _cfg.bus.costs, _cfg.costOpts);
+    _engine->reset();
+
+    // Demux the stream into per-CPU ports, mapping sharing units the
+    // way sim::Simulator does.  Unit capacity is checked here, before
+    // the engine sees any reference.
+    std::vector<RequestPort> ports;
+    std::unordered_map<unsigned, unsigned> cpuMap;
+    std::unordered_map<unsigned, unsigned> unitMap;
+    const unsigned capacity = _engine->numUnits();
+
+    constexpr std::size_t batchRecords = 4096;
+    std::vector<trace::TraceRecord> records(batchRecords);
+    std::size_t n;
+    while ((n = source.nextBatch(records.data(), batchRecords)) != 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const trace::TraceRecord &rec = records[i];
+            const unsigned unitKey =
+                _cfg.sim.domain == sim::SharingDomain::Process
+                    ? rec.pid
+                    : rec.cpu;
+            const auto uit = unitMap
+                                 .try_emplace(unitKey,
+                                              static_cast<unsigned>(
+                                                  unitMap.size()))
+                                 .first;
+            if (uit->second >= capacity)
+                throw std::runtime_error(
+                    "TimedBusSim: trace uses more sharing units than "
+                    "engine '" + _engine->results().name +
+                    "' supports");
+            const auto [cit, cinserted] = cpuMap.try_emplace(
+                rec.cpu, static_cast<unsigned>(cpuMap.size()));
+            if (cinserted)
+                ports.emplace_back(cit->second);
+            ports[cit->second].appendRef(
+                PortRef{uit->second, rec.type,
+                        mem::blockId(rec.addr, _cfg.sim.blockBytes)});
+        }
+    }
+
+    const unsigned nCpus = static_cast<unsigned>(ports.size());
+    TimedRun result;
+    result.scheme =
+        sim::schemeName(_cfg.scheme, _cfg.costOpts.nPointers);
+    result.bus = _cfg.bus.costs.name;
+    result.discipline = disciplineName(_cfg.discipline);
+    result.nCpus = nCpus;
+    if (nCpus == 0) {
+        result.engine = _engine->results();
+        return result;
+    }
+
+    const auto arbiter = BusArbiter::make(_cfg.discipline, nCpus);
+
+    // --- The discrete-event loop -------------------------------------
+    EventQueue eq;
+    std::vector<BusRequest> waiters;
+    bool busBusy = false;
+    [[maybe_unused]] unsigned busHolder = 0;
+    bool busUsesMemory = false;
+    std::uint64_t reqSeq = 0;
+
+    // Push the next tenure of @p port's in-flight charge into the
+    // arbitration queue; the grant phase at the end of the current
+    // cycle considers it.
+    const auto issue = [&](RequestPort &port, std::uint64_t now) {
+        const TxnCharge &txn = port.nextTxn();
+        waiters.push_back(BusRequest{port.cpu(), now, reqSeq++,
+                                     txn.busCycles, txn.usesMemory});
+    };
+
+    for (unsigned p = 0; p < nCpus; ++p)
+        eq.push(0, EventKind::CpuReady, p);
+
+    while (!eq.empty()) {
+        const std::uint64_t now = eq.nextTime();
+
+        // Deliver every event of this cycle before arbitrating, so a
+        // freed bus and the requests arriving on the same cycle meet
+        // in one grant phase.
+        while (!eq.empty() && eq.nextTime() == now) {
+            const Event ev = eq.pop();
+            RequestPort &port = ports[ev.cpu];
+
+            if (ev.kind == EventKind::BusComplete) {
+                assert(busBusy && busHolder == ev.cpu);
+                busBusy = false;
+                // Pipelined buses: the requester sees the data only
+                // after the off-bus memory wait.
+                const std::uint64_t done =
+                    now + (busUsesMemory ? _cfg.bus.memExtraLatency
+                                         : 0);
+                if (!port.hasPendingTxn())
+                    port.endStall(done);
+                eq.push(done, EventKind::CpuReady, ev.cpu);
+                continue;
+            }
+
+            // CpuReady: either issue the next tenure of a stalled
+            // reference, or execute the next reference.
+            if (port.hasPendingTxn()) {
+                issue(port, now);
+                continue;
+            }
+            if (!port.hasMoreRefs()) {
+                port.finish(now);
+                continue;
+            }
+            const PortRef &ref = port.takeRef();
+            _engine->access(ref.unit, ref.type, ref.block);
+            const RefCharge charge = model.charge(_engine->results());
+            if (charge.empty()) {
+                eq.push(now + _cfg.cyclesPerRef, EventKind::CpuReady,
+                        ev.cpu);
+                continue;
+            }
+            port.beginStall(charge, now);
+            issue(port, now);
+        }
+
+        if (!busBusy && !waiters.empty()) {
+            const std::size_t pick = arbiter->pick(waiters);
+            assert(pick < waiters.size());
+            const BusRequest req = waiters[pick];
+            waiters.erase(waiters.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+            arbiter->granted(req.cpu);
+            result.queueDelay.sample(
+                static_cast<std::size_t>(now - req.arrival));
+            ++result.transactions;
+            result.busBusyCycles += req.busCycles;
+            busBusy = true;
+            busHolder = req.cpu;
+            busUsesMemory = req.usesMemory;
+            eq.push(now + req.busCycles, EventKind::BusComplete,
+                    req.cpu);
+        }
+    }
+    assert(waiters.empty());
+
+    for (const RequestPort &port : ports) {
+        const CpuTimedStats &stats = port.stats();
+        result.refs += stats.refs;
+        result.makespan = std::max(result.makespan, stats.finishCycle);
+        result.cpus.push_back(stats);
+    }
+    result.engine = _engine->results();
+    return result;
+}
+
+} // namespace dirsim::timing

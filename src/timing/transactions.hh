@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Per-reference bus transactions for the timed model.
+ *
+ * The static cost model (sim/cost_model.hh) charges *aggregate* event
+ * frequencies; a timed bus needs the charge of *each* reference at the
+ * moment it executes.  TransactionModel recovers it by diffing the
+ * engine's EngineResults across one access() call: exactly one event
+ * is recorded per reference, and the handful of auxiliary counters the
+ * cost model reads (fanout-histogram weights, displacement
+ * invalidations, 1→2 holder growth, replacement write-backs) each
+ * change by a knowable delta.  The per-scheme switch then mirrors
+ * sim::computeCost term for term, so summing RefCharges over a run
+ * reproduces the aggregate model *exactly* — in integer cycles, which
+ * is what staticBusCycles() computes independently and what the
+ * zero-contention equivalence test holds both sides to.
+ *
+ * Transaction granularity matches the cost model's transactionsPerRef
+ * accounting: one bus tenure per counted transaction (a dirty-miss
+ * service is one tenure covering request + invalidate + write-back; a
+ * WTI write miss is two tenures, the fill and the write-through).
+ * Charges with no statically-counted transaction (displacement
+ * invalidates on first-reference fills, replacement write-backs) ride
+ * as overhead-exempt tenures so cycle totals still match.
+ */
+
+#ifndef DIRSIM_TIMING_TRANSACTIONS_HH
+#define DIRSIM_TIMING_TRANSACTIONS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "bus/bus_model.hh"
+#include "coherence/results.hh"
+#include "sim/cost_model.hh"
+
+namespace dirsim::timing
+{
+
+/** One bus tenure a reference needs. */
+struct TxnCharge
+{
+    /** Bus occupancy in cycles, including any per-transaction
+     *  overhead q (CostOptions::overheadQ). */
+    std::uint32_t busCycles = 0;
+    /** Carries a main-memory block read (pipelined buses add the
+     *  off-bus memory wait to the requester's latency). */
+    bool usesMemory = false;
+    /** Counted by the static model's transactionsPerRef (and hence
+     *  charged overhead q). */
+    bool counted = true;
+};
+
+/** Everything one reference asks of the bus (possibly nothing). */
+struct RefCharge
+{
+    std::array<TxnCharge, 3> txns;
+    unsigned count = 0;
+
+    void
+    add(std::uint32_t cycles, bool usesMemory, bool counted)
+    {
+        txns[count++] = TxnCharge{cycles, usesMemory, counted};
+    }
+
+    bool empty() const { return count == 0; }
+};
+
+/**
+ * Stateful per-reference charger for one (scheme, bus) pair.
+ *
+ * Drive it in lock-step with the engine: after every
+ * engine->access(), call charge(engine->results()) to get that
+ * reference's bus transactions.  The model snapshots the counters it
+ * needs, so the engine must not be shared with another charger.
+ *
+ * The constructor validates that CostOptions::broadcastCost and
+ * ::overheadQ are non-negative integers — the timed model deals in
+ * whole cycles — and throws std::invalid_argument otherwise.
+ */
+class TransactionModel
+{
+  public:
+    TransactionModel(sim::Scheme scheme, const bus::BusCosts &bus,
+                     const sim::CostOptions &opts = sim::CostOptions{});
+
+    /** Diff @p results against the snapshot and emit this
+     *  reference's transactions.  Instruction fetches, hits and
+     *  first-reference misses come back empty (for most schemes). */
+    RefCharge charge(const coherence::EngineResults &results);
+
+    /** Forget the snapshot (call alongside engine->reset()). */
+    void reset();
+
+    sim::Scheme scheme() const { return _scheme; }
+
+  private:
+    struct Snapshot
+    {
+        std::array<std::uint64_t, coherence::numEvents> events{};
+        std::uint64_t totalRefs = 0;
+        std::uint64_t whSamples = 0;
+        std::uint64_t whWeight = 0;
+        std::uint64_t wmSamples = 0;
+        std::uint64_t wmWeight = 0;
+        std::uint64_t holderGrowth12 = 0;
+        std::uint64_t displacementInvals = 0;
+        std::uint64_t replacementWriteBacks = 0;
+    };
+
+    sim::Scheme _scheme;
+    bus::BusCosts _bus;
+    unsigned _nPointers;
+    std::uint32_t _broadcastCycles;
+    std::uint32_t _overheadQ;
+    Snapshot _prev;
+};
+
+/**
+ * Total bus cycles of a whole run, in exact integer arithmetic — the
+ * same accounting as sim::computeCost (including replacement
+ * write-backs and overhead q) without the divide-by-refs that makes
+ * the double version inexact.  The timed simulator's busBusyCycles
+ * equals this for any run of the matching engine; dividing by
+ * totalRefs() recovers computeCost().total() to floating-point
+ * precision.  Throws std::invalid_argument on non-integer
+ * broadcastCost/overheadQ.
+ */
+std::uint64_t
+staticBusCycles(sim::Scheme scheme,
+                const coherence::EngineResults &results,
+                const bus::BusCosts &bus,
+                const sim::CostOptions &opts = sim::CostOptions{});
+
+} // namespace dirsim::timing
+
+#endif // DIRSIM_TIMING_TRANSACTIONS_HH

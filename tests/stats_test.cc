@@ -121,6 +121,42 @@ TEST(Histogram, ExcessOver)
     EXPECT_EQ(h.excessOver(5), 0u);
 }
 
+TEST(Histogram, PercentileEdgeCases)
+{
+    Histogram h;
+    // Empty: every percentile is 0.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+
+    // Single sample: every percentile is that sample.
+    h.sample(7);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+}
+
+TEST(Histogram, PercentileNearestRank)
+{
+    Histogram h;
+    for (std::size_t v = 1; v <= 10; ++v)
+        h.sample(v);
+    // p = 0 clamps the rank to 1, i.e. the minimum sample.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    // Nearest rank: ceil(0.95 * 10) = 10th sample.
+    EXPECT_DOUBLE_EQ(h.percentile(95.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(51.0), 6.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+
+    // Weighted buckets count as repeated samples.
+    Histogram skew;
+    skew.sample(0, 99);
+    skew.sample(50, 1);
+    EXPECT_DOUBLE_EQ(skew.percentile(95.0), 0.0);
+    EXPECT_DOUBLE_EQ(skew.percentile(100.0), 50.0);
+}
+
 TEST(Histogram, Merge)
 {
     Histogram a;
@@ -159,6 +195,22 @@ TEST(Distribution, Empty)
     Distribution d;
     EXPECT_EQ(d.count(), 0u);
     EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    // min/max of an empty distribution report 0, not garbage.
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(42.5);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 42.5);
+    EXPECT_DOUBLE_EQ(d.max(), 42.5);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.5);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
     EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
 }
 

@@ -77,6 +77,23 @@ TEST(ThreadPoolTest, RunsEveryTask)
     EXPECT_EQ(counter.load(), 100);
 }
 
+/**
+ * Tasks must not throw (thread_pool.hh's contract).  A task that does
+ * must die loudly — message on stderr, then abort — instead of the
+ * bare std::terminate an escaping exception used to trigger.
+ */
+TEST(ThreadPoolDeathTest, ThrowingTaskAbortsWithMessage)
+{
+    EXPECT_DEATH(
+        {
+            sim::ThreadPool pool(1);
+            pool.submit(
+                [] { throw std::runtime_error("boom"); });
+            pool.wait();
+        },
+        "task threw 'boom'; tasks must not throw");
+}
+
 TEST(ThreadPoolTest, WaitIsReusable)
 {
     sim::ThreadPool pool(2);

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the timed bus subsystem.
+ *
+ * The load-bearing property: with one CPU the bus is free at every
+ * request, so the timed simulator's total bus-busy cycles equal the
+ * static cost model's total *exactly* — integer cycle for integer
+ * cycle — for every scheme × workload × bus organisation.  On top of
+ * that: the cycles-equal-static invariant holds for any CPU count
+ * (per-reference charges sum to the aggregate), runs are
+ * deterministic, timed sweeps are bit-identical across worker counts,
+ * utilization grows with CPU count, and the arbitration disciplines
+ * behave per their contracts (including fixed-priority starvation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bus/bus_model.hh"
+#include "coherence/berkeley_engine.hh"
+#include "coherence/dragon_engine.hh"
+#include "coherence/inval_engine.hh"
+#include "coherence/limited_engine.hh"
+#include "gen/workload.hh"
+#include "gen/workloads.hh"
+#include "sim/cost_model.hh"
+#include "sim/simulator.hh"
+#include "timing/arbiter.hh"
+#include "timing/event_queue.hh"
+#include "timing/sweep.hh"
+#include "timing/timed_bus.hh"
+#include "timing/transactions.hh"
+
+namespace
+{
+
+using namespace dirsim;
+
+const std::vector<sim::Scheme> allSchemes = {
+    sim::Scheme::Dir1NB,    sim::Scheme::DirINB,
+    sim::Scheme::Dir0B,     sim::Scheme::DirNNBSeq,
+    sim::Scheme::DirIB,     sim::Scheme::WTI,
+    sim::Scheme::Dragon,    sim::Scheme::Berkeley,
+    sim::Scheme::YenFu,     sim::Scheme::BerkeleyOwn,
+    sim::Scheme::MESI,
+};
+
+/**
+ * The engine each scheme is costed from: the engineKindFor() mapping,
+ * with BerkeleyOwn on the real ownership engine the way the Section 5
+ * exhibit (bench_sec5_berkeley) pairs them.
+ */
+std::unique_ptr<coherence::CoherenceEngine>
+engineFor(sim::Scheme scheme, unsigned units, unsigned nPointers)
+{
+    if (scheme == sim::Scheme::BerkeleyOwn)
+        return std::make_unique<coherence::BerkeleyEngine>(units);
+    switch (sim::engineKindFor(scheme)) {
+      case sim::EngineKind::Limited:
+        return std::make_unique<coherence::LimitedEngine>(
+            units, scheme == sim::Scheme::Dir1NB ? 1 : nPointers);
+      case sim::EngineKind::Dragon:
+        return std::make_unique<coherence::DragonEngine>(units);
+      case sim::EngineKind::Berkeley:
+        return std::make_unique<coherence::BerkeleyEngine>(units);
+      case sim::EngineKind::Inval:
+      default: {
+        coherence::InvalEngineConfig cfg;
+        cfg.nUnits = units;
+        return std::make_unique<coherence::InvalEngine>(cfg);
+      }
+    }
+}
+
+/** Cost options exercising pointers, broadcast and q-overhead. */
+sim::CostOptions
+testOpts()
+{
+    sim::CostOptions opts;
+    opts.nPointers = 2;
+    opts.broadcastCost = 4.0;
+    opts.overheadQ = 1.0;
+    return opts;
+}
+
+/**
+ * Small standard workloads squeezed onto one CPU.  A short quantum
+ * keeps all four processes interleaving (and therefore sharing) even
+ * though a single processor issues every reference.
+ */
+std::vector<gen::WorkloadConfig>
+oneCpuWorkloads()
+{
+    auto cfgs = gen::standardWorkloads();
+    for (auto &cfg : cfgs) {
+        cfg.totalRefs = 30'000;
+        cfg.space.nCpus = 1;
+        cfg.quantumRefs = 500;
+    }
+    return cfgs;
+}
+
+timing::TimedBusConfig
+timedConfig(sim::Scheme scheme, const timing::TimedBusModel &bus,
+            timing::Discipline d = timing::Discipline::FCFS)
+{
+    timing::TimedBusConfig cfg;
+    cfg.scheme = scheme;
+    cfg.costOpts = testOpts();
+    cfg.bus = bus;
+    cfg.discipline = d;
+    return cfg;
+}
+
+timing::TimedRun
+runTimed(const timing::TimedBusConfig &cfg,
+         const gen::WorkloadConfig &workload)
+{
+    timing::TimedBusSim sim(
+        cfg, engineFor(cfg.scheme, workload.space.nProcesses,
+                       cfg.costOpts.nPointers));
+    gen::WorkloadSource source(workload);
+    return sim.run(source);
+}
+
+// --- Event queue -----------------------------------------------------
+
+TEST(EventQueueTest, OrdersByTimeKindCpuThenSchedule)
+{
+    timing::EventQueue eq;
+    eq.push(5, timing::EventKind::CpuReady, 0);
+    eq.push(3, timing::EventKind::CpuReady, 1);
+    eq.push(3, timing::EventKind::CpuReady, 0);
+    eq.push(3, timing::EventKind::BusComplete, 2);
+    ASSERT_EQ(eq.size(), 4u);
+    EXPECT_EQ(eq.nextTime(), 3u);
+
+    // Completions precede CPU wake-ups at the same cycle; CpuReady
+    // ties break by cpu index, not push order.
+    timing::Event ev = eq.pop();
+    EXPECT_EQ(ev.kind, timing::EventKind::BusComplete);
+    EXPECT_EQ(ev.cpu, 2u);
+    ev = eq.pop();
+    EXPECT_EQ(ev.cpu, 0u);
+    ev = eq.pop();
+    EXPECT_EQ(ev.cpu, 1u);
+    ev = eq.pop();
+    EXPECT_EQ(ev.time, 5u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, IdenticalKeysPopInScheduleOrder)
+{
+    timing::EventQueue eq;
+    eq.push(7, timing::EventKind::CpuReady, 3);
+    eq.push(7, timing::EventKind::CpuReady, 3);
+    const timing::Event first = eq.pop();
+    const timing::Event second = eq.pop();
+    EXPECT_LT(first.seq, second.seq);
+}
+
+// --- Arbiters --------------------------------------------------------
+
+timing::BusRequest
+req(unsigned cpu, std::uint64_t arrival, std::uint64_t seq)
+{
+    timing::BusRequest r;
+    r.cpu = cpu;
+    r.arrival = arrival;
+    r.seq = seq;
+    r.busCycles = 1;
+    return r;
+}
+
+TEST(ArbiterTest, FcfsGrantsOldestThenIssueOrder)
+{
+    const auto arb =
+        timing::BusArbiter::make(timing::Discipline::FCFS, 4);
+    EXPECT_EQ(arb->discipline(), timing::Discipline::FCFS);
+    const std::vector<timing::BusRequest> waiting = {
+        req(2, 5, 10), req(0, 3, 11), req(1, 3, 9)};
+    // Earliest arrival is cycle 3; the tie breaks on issue order.
+    EXPECT_EQ(arb->pick(waiting), 2u);
+}
+
+TEST(ArbiterTest, RoundRobinRotatesAfterLastGrantee)
+{
+    const auto arb =
+        timing::BusArbiter::make(timing::Discipline::RoundRobin, 4);
+    // Initial state: priority starts at cpu 0.
+    std::vector<timing::BusRequest> waiting = {req(2, 0, 0),
+                                               req(0, 0, 1)};
+    EXPECT_EQ(arb->pick(waiting), 1u); // cpu 0
+    arb->granted(0);
+    // Priority now starts at cpu 1, so cpu 2 beats cpu 0.
+    EXPECT_EQ(arb->pick(waiting), 0u); // cpu 2
+    arb->granted(2);
+    // Priority starts at cpu 3 and wraps: cpu 0 beats cpu 2.
+    EXPECT_EQ(arb->pick(waiting), 1u);
+    // reset() restores the initial rotation.
+    arb->reset();
+    EXPECT_EQ(arb->pick(waiting), 1u); // cpu 0 again
+}
+
+TEST(ArbiterTest, FixedPriorityGrantsLowestCpu)
+{
+    const auto arb = timing::BusArbiter::make(
+        timing::Discipline::FixedPriority, 4);
+    const std::vector<timing::BusRequest> waiting = {
+        req(3, 0, 0), req(1, 7, 1), req(2, 2, 2)};
+    // Arrival times are ignored entirely.
+    EXPECT_EQ(arb->pick(waiting), 1u);
+}
+
+TEST(ArbiterTest, NamesRoundTripAndGarbageThrows)
+{
+    for (const auto d :
+         {timing::Discipline::FCFS, timing::Discipline::RoundRobin,
+          timing::Discipline::FixedPriority})
+        EXPECT_EQ(timing::parseDiscipline(timing::disciplineName(d)),
+                  d);
+    EXPECT_THROW(timing::parseDiscipline("lifo"),
+                 std::invalid_argument);
+    EXPECT_THROW(timing::BusArbiter::make(timing::Discipline::FCFS, 0),
+                 std::invalid_argument);
+}
+
+// --- Transaction model validation ------------------------------------
+
+TEST(TransactionModelTest, RejectsNonIntegerCycleOptions)
+{
+    const auto bus = bus::standardBuses().pipelined;
+    sim::CostOptions opts;
+    opts.broadcastCost = 2.5;
+    EXPECT_THROW(
+        timing::TransactionModel(sim::Scheme::DirIB, bus, opts),
+        std::invalid_argument);
+    opts.broadcastCost = 4.0;
+    opts.overheadQ = 0.1;
+    EXPECT_THROW(
+        timing::TransactionModel(sim::Scheme::Dir0B, bus, opts),
+        std::invalid_argument);
+    opts.overheadQ = -1.0;
+    EXPECT_THROW(
+        timing::TransactionModel(sim::Scheme::Dir0B, bus, opts),
+        std::invalid_argument);
+}
+
+// --- Zero-contention equivalence (the anchor) ------------------------
+
+/**
+ * One CPU, every scheme, every bus organisation, all three standard
+ * workloads: the timed run must degenerate to the static cost model —
+ * identical engine statistics, exactly equal integer bus cycles, and
+ * a per-reference cost matching computeCost().total() to fp noise.
+ */
+TEST(ZeroContentionTest, TimedRunEqualsStaticCostModel)
+{
+    const auto opts = testOpts();
+    const std::vector<timing::TimedBusModel> buses = {
+        timing::timedPipelinedBus(), timing::timedNonPipelinedBus()};
+
+    for (const auto &workload : oneCpuWorkloads()) {
+        for (const sim::Scheme scheme : allSchemes) {
+            // Untimed reference run of the same stream.
+            sim::Simulator untimed;
+            auto &engine = untimed.addEngine(engineFor(
+                scheme, workload.space.nProcesses, opts.nPointers));
+            gen::WorkloadSource source(workload);
+            untimed.run(source);
+
+            for (const auto &bus : buses) {
+                const timing::TimedRun run =
+                    runTimed(timedConfig(scheme, bus), workload);
+                const std::string label = run.scheme + " / " +
+                                          run.bus + " / " +
+                                          workload.name;
+
+                ASSERT_EQ(run.nCpus, 1u) << label;
+                EXPECT_EQ(run.refs, workload.totalRefs) << label;
+
+                // Same interleaving -> identical engine statistics.
+                EXPECT_TRUE(run.engine == engine.results()) << label;
+
+                // The integer-exact equivalence.
+                EXPECT_EQ(run.busBusyCycles,
+                          timing::staticBusCycles(scheme, run.engine,
+                                                  bus.costs, opts))
+                    << label;
+
+                // And the continuous model agrees per reference.
+                const double static_total =
+                    sim::computeCost(scheme, run.engine, bus.costs,
+                                     opts)
+                        .total();
+                EXPECT_NEAR(run.busCyclesPerRef(), static_total, 1e-9)
+                    << label;
+
+                // A lone CPU never queues.
+                EXPECT_EQ(run.queueDelay.maxValue(), 0u) << label;
+                EXPECT_EQ(run.meanQueueDelay(), 0.0) << label;
+                EXPECT_EQ(run.p95QueueDelay(), 0.0) << label;
+                EXPECT_EQ(run.queueDelay.totalSamples(),
+                          run.transactions)
+                    << label;
+            }
+        }
+    }
+}
+
+// --- Contended runs --------------------------------------------------
+
+gen::WorkloadConfig
+fourCpuWorkload()
+{
+    auto cfg = gen::standardWorkloads()[0];
+    cfg.totalRefs = 30'000;
+    return cfg;
+}
+
+/**
+ * Bus-busy cycles equal the static aggregate of *this run's* engine
+ * statistics at any CPU count — per-reference charges sum to the
+ * whole-run total no matter how the streams interleave.
+ */
+TEST(ContentionTest, BusCyclesMatchStaticAggregateAtAnyCpuCount)
+{
+    const auto workload = fourCpuWorkload();
+    const auto opts = testOpts();
+    const std::vector<timing::TimedBusModel> buses = {
+        timing::timedPipelinedBus(), timing::timedNonPipelinedBus()};
+
+    for (const sim::Scheme scheme : allSchemes) {
+        for (const auto &bus : buses) {
+            const timing::TimedRun run =
+                runTimed(timedConfig(scheme, bus), workload);
+            const std::string label = run.scheme + " / " + run.bus;
+
+            EXPECT_EQ(run.nCpus, 4u) << label;
+            EXPECT_EQ(run.busBusyCycles,
+                      timing::staticBusCycles(scheme, run.engine,
+                                              bus.costs, opts))
+                << label;
+
+            // Structural sanity.
+            EXPECT_GE(run.makespan, run.busBusyCycles) << label;
+            EXPECT_LE(run.busUtilization(), 1.0 + 1e-12) << label;
+            EXPECT_EQ(run.queueDelay.totalSamples(), run.transactions)
+                << label;
+            std::uint64_t refs = 0, txns = 0;
+            for (const auto &cpu : run.cpus) {
+                refs += cpu.refs;
+                txns += cpu.transactions;
+            }
+            EXPECT_EQ(refs, run.refs) << label;
+            EXPECT_EQ(txns, run.transactions) << label;
+        }
+    }
+}
+
+TEST(ContentionTest, RunsAreDeterministic)
+{
+    const auto workload = fourCpuWorkload();
+    const auto cfg = timedConfig(sim::Scheme::Dir0B,
+                                 timing::timedPipelinedBus(),
+                                 timing::Discipline::RoundRobin);
+    const timing::TimedRun a = runTimed(cfg, workload);
+    const timing::TimedRun b = runTimed(cfg, workload);
+    EXPECT_TRUE(a.identicalTo(b));
+}
+
+TEST(ContentionTest, UtilizationGrowsWithCpuCount)
+{
+    std::vector<double> utilization;
+    for (const unsigned n : {2u, 4u, 8u}) {
+        const gen::WorkloadConfig workload =
+            gen::scaledConfig(n, 10'000 * n);
+        const timing::TimedRun run = runTimed(
+            timedConfig(sim::Scheme::Dir0B,
+                        timing::timedPipelinedBus()),
+            workload);
+        EXPECT_EQ(run.nCpus, n);
+        utilization.push_back(run.busUtilization());
+    }
+    EXPECT_GT(utilization[0], 0.0);
+    EXPECT_GT(utilization[1], utilization[0]);
+    EXPECT_GE(utilization[2], utilization[1]);
+}
+
+/**
+ * Under load, fixed priority starves the high-index CPUs while FCFS
+ * spreads the delay; the per-CPU stall distributions must differ
+ * measurably.  WTI at eight CPUs keeps the bus saturated.
+ */
+TEST(ContentionTest, DisciplinesShapeStallDistributions)
+{
+    const gen::WorkloadConfig workload = gen::scaledConfig(8, 60'000);
+
+    const timing::TimedRun fcfs = runTimed(
+        timedConfig(sim::Scheme::WTI, timing::timedPipelinedBus(),
+                    timing::Discipline::FCFS),
+        workload);
+    const timing::TimedRun fixed = runTimed(
+        timedConfig(sim::Scheme::WTI, timing::timedPipelinedBus(),
+                    timing::Discipline::FixedPriority),
+        workload);
+    const timing::TimedRun rr = runTimed(
+        timedConfig(sim::Scheme::WTI, timing::timedPipelinedBus(),
+                    timing::Discipline::RoundRobin),
+        workload);
+
+    ASSERT_EQ(fcfs.nCpus, 8u);
+    ASSERT_EQ(fixed.nCpus, 8u);
+
+    // Fixed priority: the lowest-index CPU stalls least, the highest
+    // most — the starvation the arbiter contract promises.
+    EXPECT_GT(fixed.cpus.back().stallCycles,
+              fixed.cpus.front().stallCycles);
+    EXPECT_GT(fixed.cpus.back().stallFraction(),
+              fcfs.cpus.back().stallFraction());
+
+    // The disciplines are not relabelings of each other: per-CPU
+    // stall patterns diverge.
+    EXPECT_FALSE(fcfs.cpus == fixed.cpus);
+    EXPECT_FALSE(fcfs.cpus == rr.cpus);
+}
+
+// --- Timed sweeps ----------------------------------------------------
+
+std::vector<timing::TimedSweepPoint>
+sweepPoints()
+{
+    std::vector<timing::TimedSweepPoint> points;
+    for (const sim::Scheme scheme :
+         {sim::Scheme::Dir0B, sim::Scheme::DirINB,
+          sim::Scheme::Dragon}) {
+        for (const auto d : {timing::Discipline::FCFS,
+                             timing::Discipline::RoundRobin}) {
+            timing::TimedSweepPoint point;
+            point.config = timedConfig(
+                scheme, timing::timedPipelinedBus(), d);
+            point.name = sim::schemeName(scheme, 2) + "/" +
+                         timing::disciplineName(d);
+            point.engine = [scheme] {
+                return engineFor(scheme, 4, 2);
+            };
+            point.source = [] {
+                return std::make_unique<gen::WorkloadSource>(
+                    fourCpuWorkload());
+            };
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
+TEST(TimedSweepTest, ParallelSweepBitIdenticalToSerial)
+{
+    const auto serial = timing::runTimedSweep(sweepPoints(), 1);
+    const auto parallel = timing::runTimedSweep(sweepPoints(), 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Submission-ordered, labelled, and bit-identical.
+        EXPECT_EQ(serial[i].name, parallel[i].name);
+        EXPECT_TRUE(serial[i].identicalTo(parallel[i]))
+            << serial[i].name;
+    }
+}
+
+TEST(TimedSweepTest, PropagatesJobFailure)
+{
+    auto points = sweepPoints();
+    // Too few engine units for the workload's four processes.
+    points[0].engine = [] {
+        return engineFor(sim::Scheme::Dir0B, 2, 2);
+    };
+    EXPECT_THROW(timing::runTimedSweep(points, 2),
+                 std::runtime_error);
+}
+
+TEST(TimedSweepTest, RejectsPointWithoutFactories)
+{
+    std::vector<timing::TimedSweepPoint> points(1);
+    EXPECT_THROW(timing::runTimedSweep(points, 1),
+                 std::invalid_argument);
+}
+
+} // namespace
