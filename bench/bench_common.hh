@@ -23,6 +23,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -142,6 +143,26 @@ standardEval()
 constexpr unsigned standardCpus = 4;
 
 /**
+ * Uniform one-line throughput report: every bench prints wall clock
+ * and refs/sec in the same shape, so runs are comparable across
+ * binaries and greppable by "[bench]".
+ */
+inline std::string
+throughputLine(const std::string &name, std::uint64_t refs,
+               double seconds)
+{
+    std::ostringstream os;
+    os << "[bench] " << name << ": " << seconds << " s wall, " << refs
+       << " refs";
+    if (seconds > 0.0 && refs > 0)
+        os << ", "
+           << static_cast<std::uint64_t>(
+                  static_cast<double>(refs) / seconds)
+           << " refs/sec";
+    return os.str();
+}
+
+/**
  * Wall-clock report for the standard protocol×workload sweep.  With
  * --jobs > 1 it also times a serial reference run so the speedup of
  * the parallel sweep engine is visible (and the results comparable —
@@ -151,7 +172,12 @@ inline std::string
 sweepTimingReport()
 {
     const auto &timed = detail::timedStandardEval();
+    std::uint64_t traceRefs = 0;
+    for (const gen::WorkloadConfig &w : gen::standardWorkloads())
+        traceRefs += w.totalRefs;
     std::ostringstream os;
+    os << throughputLine("standard-sweep", traceRefs, timed.seconds)
+       << "\n";
     os << "[sweep] standard workloads x 3 engines: ";
     if (timed.jobs == 1) {
         os << "serial " << timed.seconds
@@ -182,11 +208,14 @@ inline int
 runBench(int argc, char **argv, const std::string &exhibit)
 {
     std::cout << exhibit << "\n";
+    WallTimer timer;
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    std::cout << "[bench] timing phase: " << timer.seconds()
+              << " s wall\n";
     return 0;
 }
 

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Hot-path throughput harness: raw engine replay speed in refs/sec.
+ *
+ * The exhibit benches measure whole evaluations (workload generation
+ * plus simulation); this harness isolates the per-reference hot path
+ * that PR 3's flat-storage refactor targets.  It materialises one
+ * workload trace up front, then replays it through each engine
+ * variant and through one timed-bus point, timing only the replay.
+ * Results (refs/sec, resident-block count per engine, peak RSS) land
+ * in a machine-readable JSON file so CI and the PR description can
+ * compare before/after numbers.
+ *
+ * Unlike the exhibit benches this is a plain main(): google-benchmark
+ * adds nothing to a best-of-N wall-clock measurement of a
+ * deterministic replay loop.
+ *
+ * Flags:
+ *   --refs N       trace length (default 2,000,000)
+ *   --reps N       repetitions per point, best-of (default 3)
+ *   --out PATH     JSON output path (default BENCH_hotpath.json)
+ *   --floor R      fail (exit 1) if the inval point runs below R
+ *                  refs/sec (default 0 = disabled)
+ *   --no-reserve   skip the expectedBlocks reserve hint (measures the
+ *                  growth-by-rehash path the seed code always paid)
+ */
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/parse.hh"
+#include "coherence/berkeley_engine.hh"
+#include "coherence/dragon_engine.hh"
+#include "coherence/inval_engine.hh"
+#include "coherence/limited_engine.hh"
+#include "coherence/wti_engine.hh"
+#include "directory/full_map.hh"
+#include "gen/workload.hh"
+#include "gen/workloads.hh"
+#include "sim/simulator.hh"
+#include "timing/timed_bus.hh"
+#include "trace/trace.hh"
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace dirsim;
+
+struct Options
+{
+    std::uint64_t refs = 2'000'000;
+    unsigned reps = 3;
+    std::string out = "BENCH_hotpath.json";
+    double floor = 0.0;
+    bool reserve = true;
+};
+
+struct PointResult
+{
+    std::string name;
+    double seconds = 0.0;    //!< Best-of-reps replay wall clock.
+    double refsPerSec = 0.0;
+    std::uint64_t refs = 0;
+    std::uint64_t blocksTracked = 0;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    for (int a = 1; a < argc; ++a) {
+        const auto want = [&](const char *flag) -> const char * {
+            if (a + 1 >= argc) {
+                std::cerr << "error: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++a];
+        };
+        if (std::strcmp(argv[a], "--refs") == 0) {
+            opts.refs = cli::parseUnsigned(want("--refs"), "--refs");
+        } else if (std::strcmp(argv[a], "--reps") == 0) {
+            opts.reps = cli::parseUnsignedInRange(
+                want("--reps"), "--reps", 1, 100);
+        } else if (std::strcmp(argv[a], "--out") == 0) {
+            opts.out = want("--out");
+        } else if (std::strcmp(argv[a], "--floor") == 0) {
+            char *end = nullptr;
+            const char *text = want("--floor");
+            opts.floor = std::strtod(text, &end);
+            if (end == text || *end != '\0' || opts.floor < 0.0) {
+                std::cerr << "error: --floor expects a non-negative "
+                             "number, got '" << text << "'\n";
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[a], "--no-reserve") == 0) {
+            opts.reserve = false;
+        } else {
+            std::cerr << "error: unknown flag '" << argv[a] << "'\n"
+                      << "usage: bench_hotpath [--refs N] [--reps N] "
+                         "[--out PATH] [--floor R] [--no-reserve]\n";
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Engine variants on the replay hot path, most important first
+ *  (the --floor gate watches the leading inval point). */
+using EngineMaker =
+    std::function<std::unique_ptr<coherence::CoherenceEngine>()>;
+
+std::vector<std::pair<std::string, EngineMaker>>
+enginePoints(unsigned units)
+{
+    static const directory::FullMapFactory fullMap;
+    return {
+        {"inval",
+         [units] {
+             coherence::InvalEngineConfig cfg;
+             cfg.nUnits = units;
+             return std::make_unique<coherence::InvalEngine>(cfg);
+         }},
+        {"inval+fullmap",
+         [units] {
+             coherence::InvalEngineConfig cfg;
+             cfg.nUnits = units;
+             cfg.dirFactory = &fullMap;
+             return std::make_unique<coherence::InvalEngine>(cfg);
+         }},
+        {"dir1nb",
+         [units] {
+             return std::make_unique<coherence::LimitedEngine>(units,
+                                                               1);
+         }},
+        {"wti",
+         [units] {
+             return std::make_unique<coherence::WtiEngine>(units,
+                                                           true);
+         }},
+        {"dragon",
+         [units] {
+             return std::make_unique<coherence::DragonEngine>(units);
+         }},
+        {"berkeley",
+         [units] {
+             return std::make_unique<coherence::BerkeleyEngine>(units);
+         }},
+    };
+}
+
+/** Best-of-reps replay of @p trace through a fresh engine each rep. */
+PointResult
+runEnginePoint(const std::string &name, const EngineMaker &make,
+               const trace::MemoryTrace &trace,
+               const sim::SimConfig &simCfg, unsigned reps)
+{
+    PointResult pr;
+    pr.name = name;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        sim::Simulator simulator(simCfg);
+        coherence::CoherenceEngine &engine =
+            simulator.addEngine(make());
+        trace::MemoryTraceSource source(trace);
+        bench::WallTimer timer;
+        const std::uint64_t refs = simulator.run(source);
+        const double s = timer.seconds();
+        if (rep == 0 || s < pr.seconds) {
+            pr.seconds = s;
+            pr.refs = refs;
+            pr.blocksTracked = engine.blocksTracked();
+        }
+    }
+    pr.refsPerSec = pr.seconds > 0.0
+                        ? static_cast<double>(pr.refs) / pr.seconds
+                        : 0.0;
+    return pr;
+}
+
+/** One timed-bus point: the discrete-event layer on the same trace. */
+PointResult
+runTimedPoint(const trace::MemoryTrace &trace,
+              const sim::SimConfig &simCfg, unsigned units,
+              unsigned reps)
+{
+    PointResult pr;
+    pr.name = "timed-dir0b";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        timing::TimedBusConfig cfg;
+        cfg.scheme = sim::Scheme::Dir0B;
+        cfg.bus = timing::timedPipelinedBus();
+        cfg.sim = simCfg;
+        coherence::InvalEngineConfig ecfg;
+        ecfg.nUnits = units;
+        timing::TimedBusSim sim(
+            cfg, std::make_unique<coherence::InvalEngine>(ecfg));
+        trace::MemoryTraceSource source(trace);
+        bench::WallTimer timer;
+        const timing::TimedRun run = sim.run(source);
+        const double s = timer.seconds();
+        if (rep == 0 || s < pr.seconds) {
+            pr.seconds = s;
+            pr.refs = run.refs;
+        }
+    }
+    // TimedRun does not expose the engine's block table; the JSON
+    // reports blocks_tracked = 0 for this point.
+    pr.refsPerSec = pr.seconds > 0.0
+                        ? static_cast<double>(pr.refs) / pr.seconds
+                        : 0.0;
+    return pr;
+}
+
+long
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss; // KiB on Linux.
+}
+
+void
+writeJson(const Options &opts, const gen::WorkloadConfig &workload,
+          const std::vector<PointResult> &points)
+{
+    std::ofstream os(opts.out);
+    if (!os) {
+        std::cerr << "error: cannot write '" << opts.out << "'\n";
+        std::exit(1);
+    }
+    os << "{\n";
+    os << "  \"bench\": \"hotpath\",\n";
+    os << "  \"workload\": \"" << workload.name << "\",\n";
+    os << "  \"refs\": " << opts.refs << ",\n";
+    os << "  \"reps\": " << opts.reps << ",\n";
+    os << "  \"reserve\": " << (opts.reserve ? "true" : "false")
+       << ",\n";
+    os << "  \"peak_rss_kb\": " << peakRssKb() << ",\n";
+    os << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointResult &p = points[i];
+        os << "    {\"name\": \"" << p.name << "\", "
+           << "\"refs\": " << p.refs << ", "
+           << "\"seconds\": " << p.seconds << ", "
+           << "\"refs_per_sec\": "
+           << static_cast<std::uint64_t>(p.refsPerSec) << ", "
+           << "\"blocks_tracked\": " << p.blocksTracked << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+
+    gen::WorkloadConfig workload = gen::popsConfig();
+    workload.totalRefs = opts.refs;
+    const unsigned units = workload.space.nProcesses;
+
+    sim::SimConfig simCfg;
+    if (opts.reserve)
+        simCfg.expectedBlocks =
+            gen::expectedUniqueBlocks(workload.space);
+
+    std::cout << "bench_hotpath: workload=" << workload.name
+              << " refs=" << opts.refs << " reps=" << opts.reps
+              << " reserve=" << (opts.reserve ? "on" : "off") << "\n";
+
+    bench::WallTimer total;
+    const trace::MemoryTrace trace = gen::generateTrace(workload);
+    std::cout << "  trace materialised in " << total.seconds()
+              << " s\n";
+
+    std::vector<PointResult> points;
+    for (const auto &[name, make] : enginePoints(units))
+        points.push_back(
+            runEnginePoint(name, make, trace, simCfg, opts.reps));
+    points.push_back(runTimedPoint(trace, simCfg, units, opts.reps));
+
+    for (const PointResult &p : points) {
+        std::cout << bench::throughputLine(p.name, p.refs, p.seconds);
+        if (p.blocksTracked != 0)
+            std::cout << " (" << p.blocksTracked << " blocks)";
+        std::cout << "\n";
+    }
+    std::cout << "  peak RSS " << peakRssKb() << " KiB, total "
+              << total.seconds() << " s\n";
+
+    writeJson(opts, workload, points);
+    std::cout << "  wrote " << opts.out << "\n";
+
+    if (opts.floor > 0.0) {
+        const PointResult &inval = points.front();
+        if (inval.refsPerSec < opts.floor) {
+            std::cerr << "FAIL: inval replay "
+                      << static_cast<std::uint64_t>(inval.refsPerSec)
+                      << " refs/sec below floor "
+                      << static_cast<std::uint64_t>(opts.floor)
+                      << "\n";
+            return 1;
+        }
+        std::cout << "  floor check passed ("
+                  << static_cast<std::uint64_t>(inval.refsPerSec)
+                  << " >= " << static_cast<std::uint64_t>(opts.floor)
+                  << " refs/sec)\n";
+    }
+    return 0;
+}

@@ -49,6 +49,17 @@ unitsFor(const gen::WorkloadConfig &cfg, const EvalOptions &opts)
                : cfg.space.nCpus;
 }
 
+/** Per-workload SimConfig: the caller's options plus the workload's
+ *  expected-unique-blocks reserve hint (unless explicitly set). */
+sim::SimConfig
+simConfigFor(const gen::WorkloadConfig &cfg, const EvalOptions &opts)
+{
+    sim::SimConfig sc = opts.sim;
+    if (sc.expectedBlocks == 0)
+        sc.expectedBlocks = gen::expectedUniqueBlocks(cfg.space);
+    return sc;
+}
+
 /**
  * Run @p build-provided engines over one workload, optionally with the
  * lock-test filter, and return the simulator for result harvesting.
@@ -124,7 +135,7 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
     if (jobs <= 1 || cfgs.empty() || factories.empty()) {
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             const unsigned units = unitsFor(cfgs[c], opts);
-            sim::Simulator simulator(opts.sim);
+            sim::Simulator simulator(simConfigFor(cfgs[c], opts));
             for (const EngineFactory &factory : factories)
                 simulator.addEngine(factory(units));
             runWorkload(cfgs[c], opts, simulator);
@@ -168,7 +179,7 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
         for (const EngineFactory &factory : factories) {
             sim::SweepPoint point;
             point.name = cfgs[c].name;
-            point.sim = opts.sim;
+            point.sim = simConfigFor(cfgs[c], opts);
             point.engines = [&factory, units] {
                 std::vector<
                     std::unique_ptr<coherence::CoherenceEngine>>

@@ -36,8 +36,8 @@ BerkeleyEngine::reset()
 int
 BerkeleyEngine::owner(mem::BlockId block) const
 {
-    auto it = _blocks.find(block);
-    return it == _blocks.end() ? -1 : it->second.owner;
+    const BlockState *st = _blocks.find(block);
+    return st ? st->owner : -1;
 }
 
 void
@@ -54,6 +54,20 @@ BerkeleyEngine::access(unsigned unit, trace::RefType type,
         handleRead(unit, st);
     else
         handleWrite(unit, st);
+}
+
+void
+BerkeleyEngine::accessBatch(const BlockAccess *accs, std::size_t n)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < n; ++i)
+        access(accs[i].unit, accs[i].type, accs[i].block);
+}
+
+void
+BerkeleyEngine::recordInstrs(std::uint64_t n)
+{
+    _results.events.record(Event::Instr, n);
 }
 
 void

@@ -19,24 +19,33 @@
 #ifndef DIRSIM_COHERENCE_BERKELEY_ENGINE_HH
 #define DIRSIM_COHERENCE_BERKELEY_ENGINE_HH
 
-#include <unordered_map>
-
 #include "coherence/engine.hh"
+#include "util/flat_map.hh"
 
 namespace dirsim::coherence
 {
 
 /** Ownership-based snoopy engine (Berkeley protocol). */
-class BerkeleyEngine : public CoherenceEngine
+class BerkeleyEngine final : public CoherenceEngine
 {
   public:
     explicit BerkeleyEngine(unsigned nUnits);
 
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
+    void accessBatch(const BlockAccess *accs, std::size_t n) override;
+    void recordInstrs(std::uint64_t n) override;
     const EngineResults &results() const override { return _results; }
     unsigned numUnits() const override { return _nUnits; }
     void reset() override;
+    void reserveBlocks(std::uint64_t blocks) override
+    {
+        _blocks.reserve(blocks);
+    }
+    std::uint64_t blocksTracked() const override
+    {
+        return _blocks.size();
+    }
 
     /** Current owner of @p block (supplies data), or -1 if memory. */
     int owner(mem::BlockId block) const;
@@ -55,7 +64,7 @@ class BerkeleyEngine : public CoherenceEngine
 
     unsigned _nUnits;
     EngineResults _results;
-    std::unordered_map<mem::BlockId, BlockState> _blocks;
+    util::FlatMap<mem::BlockId, BlockState> _blocks;
 };
 
 } // namespace dirsim::coherence

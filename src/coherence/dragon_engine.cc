@@ -39,6 +39,20 @@ DragonEngine::access(unsigned unit, trace::RefType type,
 }
 
 void
+DragonEngine::accessBatch(const BlockAccess *accs, std::size_t n)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < n; ++i)
+        access(accs[i].unit, accs[i].type, accs[i].block);
+}
+
+void
+DragonEngine::recordInstrs(std::uint64_t n)
+{
+    _results.events.record(Event::Instr, n);
+}
+
+void
 DragonEngine::handleRead(unsigned unit, BlockState &st)
 {
     const std::uint64_t unit_bit = 1ULL << unit;

@@ -14,24 +14,33 @@
 #ifndef DIRSIM_COHERENCE_DRAGON_ENGINE_HH
 #define DIRSIM_COHERENCE_DRAGON_ENGINE_HH
 
-#include <unordered_map>
-
 #include "coherence/engine.hh"
+#include "util/flat_map.hh"
 
 namespace dirsim::coherence
 {
 
 /** The Dragon update-protocol engine. */
-class DragonEngine : public CoherenceEngine
+class DragonEngine final : public CoherenceEngine
 {
   public:
     explicit DragonEngine(unsigned nUnits);
 
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
+    void accessBatch(const BlockAccess *accs, std::size_t n) override;
+    void recordInstrs(std::uint64_t n) override;
     const EngineResults &results() const override { return _results; }
     unsigned numUnits() const override { return _nUnits; }
     void reset() override;
+    void reserveBlocks(std::uint64_t blocks) override
+    {
+        _blocks.reserve(blocks);
+    }
+    std::uint64_t blocksTracked() const override
+    {
+        return _blocks.size();
+    }
 
   private:
     struct BlockState
@@ -47,7 +56,7 @@ class DragonEngine : public CoherenceEngine
 
     unsigned _nUnits;
     EngineResults _results;
-    std::unordered_map<mem::BlockId, BlockState> _blocks;
+    util::FlatMap<mem::BlockId, BlockState> _blocks;
 };
 
 } // namespace dirsim::coherence

@@ -21,6 +21,14 @@
 namespace dirsim::coherence
 {
 
+/** One decoded reference, ready for engine consumption. */
+struct BlockAccess
+{
+    unsigned unit;
+    trace::RefType type;
+    mem::BlockId block;
+};
+
 /** Abstract trace-driven coherence state engine. */
 class CoherenceEngine
 {
@@ -39,6 +47,33 @@ class CoherenceEngine
     virtual void access(unsigned unit, trace::RefType type,
                         mem::BlockId block) = 0;
 
+    /**
+     * Process @p n decoded references in order.  Semantically exactly
+     * n access() calls; concrete engines override it with an internal
+     * loop so the per-reference virtual dispatch disappears (the
+     * engine classes are final, letting the compiler devirtualise and
+     * inline the body).
+     */
+    virtual void
+    accessBatch(const BlockAccess *accs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            access(accs[i].unit, accs[i].type, accs[i].block);
+    }
+
+    /**
+     * Count @p n instruction fetches.  Equivalent to n access() calls
+     * with RefType::Instr: no engine changes coherence state on an
+     * instruction fetch, so the driver may strip them from batches
+     * and report them in bulk.
+     */
+    virtual void
+    recordInstrs(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            access(0, trace::RefType::Instr, 0);
+    }
+
     /** Accumulated statistics. */
     virtual const EngineResults &results() const = 0;
 
@@ -47,6 +82,16 @@ class CoherenceEngine
 
     /** Drop all state and statistics. */
     virtual void reset() = 0;
+
+    /**
+     * Pre-size per-block state for an expected working set.  A hint:
+     * engines that track per-block state reserve their tables so the
+     * hot loop never rehashes; others ignore it.
+     */
+    virtual void reserveBlocks(std::uint64_t /*blocks*/) {}
+
+    /** Number of blocks with tracked state (0 if not applicable). */
+    virtual std::uint64_t blocksTracked() const { return 0; }
 };
 
 } // namespace dirsim::coherence

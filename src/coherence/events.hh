@@ -68,6 +68,14 @@ class EventCounts
         ++_totalRefs;
     }
 
+    /** Record @p n occurrences at once (bulk instruction counting). */
+    void
+    record(Event event, std::uint64_t n)
+    {
+        _counts[static_cast<std::size_t>(event)] += n;
+        _totalRefs += n;
+    }
+
     void merge(const EventCounts &other);
 
     std::uint64_t totalRefs() const { return _totalRefs; }

@@ -17,7 +17,8 @@ popcount(std::uint64_t mask)
 
 } // namespace
 
-InvalEngine::InvalEngine(const InvalEngineConfig &cfg) : _cfg(cfg)
+InvalEngine::InvalEngine(const InvalEngineConfig &cfg)
+    : _cfg(cfg), _dirArena(cfg.dirFactory, cfg.nUnits)
 {
     if (cfg.nUnits == 0 || cfg.nUnits > directory::maxUnits)
         throw std::invalid_argument(
@@ -35,17 +36,25 @@ InvalEngine::reset()
     _results = EngineResults{};
     _results.name = "inval";
     _blocks.clear();
+    _dirArena.clear();
     for (auto &cache : _caches)
         cache->clear();
+}
+
+void
+InvalEngine::reserveBlocks(std::uint64_t blocks)
+{
+    _blocks.reserve(blocks);
+    _dirArena.reserve(blocks);
 }
 
 InvalEngine::BlockState &
 InvalEngine::lookup(mem::BlockId block)
 {
-    auto [it, inserted] = _blocks.try_emplace(block);
-    if (inserted && _cfg.dirFactory)
-        it->second.dir = _cfg.dirFactory->make(_cfg.nUnits);
-    return it->second;
+    auto [st, inserted] = _blocks.tryEmplace(block);
+    if (inserted && _dirArena.enabled())
+        st.dir = _dirArena.allocate();
+    return st;
 }
 
 void
@@ -68,15 +77,15 @@ InvalEngine::recordHomeUse(unsigned unit, BlockState &st,
 std::uint64_t
 InvalEngine::holders(mem::BlockId block) const
 {
-    auto it = _blocks.find(block);
-    return it == _blocks.end() ? 0 : it->second.holders;
+    const BlockState *st = _blocks.find(block);
+    return st ? st->holders : 0;
 }
 
 int
 InvalEngine::dirtyOwner(mem::BlockId block) const
 {
-    auto it = _blocks.find(block);
-    return it == _blocks.end() ? -1 : it->second.owner;
+    const BlockState *st = _blocks.find(block);
+    return st ? st->owner : -1;
 }
 
 void
@@ -88,14 +97,19 @@ InvalEngine::fillCache(unsigned unit, mem::BlockId block)
     if (!touch.evicted)
         return;
     ++_results.replacementEvictions;
-    BlockState &victim = lookup(touch.evictedBlock);
-    victim.holders &= ~(1ULL << unit);
-    if (victim.owner == static_cast<int>(unit)) {
-        victim.owner = -1;
+    // The victim came out of a tag store, so it was filled by an
+    // earlier miss and is necessarily tracked already.  The
+    // non-inserting find keeps this call rehash-free: our callers
+    // hold a BlockState reference across it.
+    BlockState *victim = _blocks.find(touch.evictedBlock);
+    assert(victim && "evicted block must be tracked");
+    victim->holders &= ~(1ULL << unit);
+    if (victim->owner == static_cast<int>(unit)) {
+        victim->owner = -1;
         ++_results.replacementWriteBacks;
     }
-    if (victim.dir)
-        victim.dir->removeSharer(unit);
+    if (directory::DirEntry *dir = dirOf(*victim))
+        dir->removeSharer(unit);
 }
 
 void
@@ -128,6 +142,20 @@ InvalEngine::access(unsigned unit, trace::RefType type,
 }
 
 void
+InvalEngine::accessBatch(const BlockAccess *accs, std::size_t n)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < n; ++i)
+        access(accs[i].unit, accs[i].type, accs[i].block);
+}
+
+void
+InvalEngine::recordInstrs(std::uint64_t n)
+{
+    _results.events.record(Event::Instr, n);
+}
+
+void
 InvalEngine::handleRead(unsigned unit, mem::BlockId block,
                         BlockState &st)
 {
@@ -151,8 +179,8 @@ InvalEngine::handleRead(unsigned unit, mem::BlockId block,
         // requester snarfs the data.
         _results.events.record(Event::RmBlkDrty);
         st.owner = -1;
-        if (st.dir)
-            st.dir->cleanse();
+        if (directory::DirEntry *dir = dirOf(st))
+            dir->cleanse();
     } else if (st.holders != 0) {
         _results.events.record(Event::RmBlkCln);
     } else {
@@ -162,8 +190,8 @@ InvalEngine::handleRead(unsigned unit, mem::BlockId block,
     if (popcount(st.holders) == 1)
         ++_results.holderGrowth12;
     st.holders |= unit_bit;
-    if (st.dir)
-        st.dir->addSharer(unit);
+    if (directory::DirEntry *dir = dirOf(st))
+        dir->addSharer(unit);
     fillCache(unit, block);
 }
 
@@ -171,10 +199,11 @@ void
 InvalEngine::recordDirActivity(unsigned unit, bool unitHasCopy,
                                const BlockState &st)
 {
-    if (!st.dir)
+    const directory::DirEntry *dir = dirOf(st);
+    if (!dir)
         return;
     const directory::InvalTargets targets =
-        st.dir->invalTargets(unit, unitHasCopy);
+        dir->invalTargets(unit, unitHasCopy);
     if (targets.broadcast) {
         ++_results.dirBroadcasts;
         return;
@@ -243,8 +272,8 @@ InvalEngine::handleWrite(unsigned unit, mem::BlockId block,
 
     st.holders = unit_bit;
     st.owner = static_cast<std::int16_t>(unit);
-    if (st.dir)
-        st.dir->makeOwner(unit);
+    if (directory::DirEntry *dir = dirOf(st))
+        dir->makeOwner(unit);
 }
 
 } // namespace dirsim::coherence

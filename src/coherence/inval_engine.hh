@@ -20,12 +20,13 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/engine.hh"
+#include "directory/arena.hh"
 #include "directory/entry.hh"
 #include "mem/tag_store.hh"
+#include "util/flat_map.hh"
 
 namespace dirsim::coherence
 {
@@ -55,16 +56,23 @@ struct InvalEngineConfig
 };
 
 /** The multiple-clean / single-dirty invalidation engine. */
-class InvalEngine : public CoherenceEngine
+class InvalEngine final : public CoherenceEngine
 {
   public:
     explicit InvalEngine(const InvalEngineConfig &cfg);
 
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
+    void accessBatch(const BlockAccess *accs, std::size_t n) override;
+    void recordInstrs(std::uint64_t n) override;
     const EngineResults &results() const override { return _results; }
     unsigned numUnits() const override { return _cfg.nUnits; }
     void reset() override;
+    void reserveBlocks(std::uint64_t blocks) override;
+    std::uint64_t blocksTracked() const override
+    {
+        return _blocks.size();
+    }
 
     /** Exact holder mask of @p block (tests / diagnostics). */
     std::uint64_t holders(mem::BlockId block) const;
@@ -78,10 +86,20 @@ class InvalEngine : public CoherenceEngine
         std::int16_t owner = -1; //!< Dirty owner, -1 when clean.
         std::int16_t home = -1;  //!< Home node (when tracked).
         bool referenced = false;
-        std::unique_ptr<directory::DirEntry> dir;
+        /** Arena handle of the shadowed directory entry (npos when
+         *  no organisation is shadowed). */
+        directory::DirEntryArena::Index dir =
+            directory::DirEntryArena::npos;
     };
 
     BlockState &lookup(mem::BlockId block);
+    /** The shadowed entry of @p st, or null when none. */
+    directory::DirEntry *dirOf(const BlockState &st)
+    {
+        return st.dir == directory::DirEntryArena::npos
+                   ? nullptr
+                   : &_dirArena.entry(st.dir);
+    }
     void handleRead(unsigned unit, mem::BlockId block, BlockState &st);
     void handleWrite(unsigned unit, mem::BlockId block, BlockState &st);
     /** Classify a directory/memory transaction by home locality. */
@@ -98,7 +116,8 @@ class InvalEngine : public CoherenceEngine
 
     InvalEngineConfig _cfg;
     EngineResults _results;
-    std::unordered_map<mem::BlockId, BlockState> _blocks;
+    util::FlatMap<mem::BlockId, BlockState> _blocks;
+    directory::DirEntryArena _dirArena;
     std::vector<std::unique_ptr<mem::TagStore>> _caches;
 };
 

@@ -55,6 +55,20 @@ LimitedEngine::access(unsigned unit, trace::RefType type,
 }
 
 void
+LimitedEngine::accessBatch(const BlockAccess *accs, std::size_t n)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < n; ++i)
+        access(accs[i].unit, accs[i].type, accs[i].block);
+}
+
+void
+LimitedEngine::recordInstrs(std::uint64_t n)
+{
+    _results.events.record(Event::Instr, n);
+}
+
+void
 LimitedEngine::handleRead(unsigned unit, BlockState &st)
 {
     if (holds(st, unit)) {

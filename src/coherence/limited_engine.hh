@@ -18,16 +18,16 @@
 #ifndef DIRSIM_COHERENCE_LIMITED_ENGINE_HH
 #define DIRSIM_COHERENCE_LIMITED_ENGINE_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/engine.hh"
+#include "util/flat_map.hh"
 
 namespace dirsim::coherence
 {
 
 /** The DiriNB engine; i = 1 gives Dir1NB. */
-class LimitedEngine : public CoherenceEngine
+class LimitedEngine final : public CoherenceEngine
 {
   public:
     /**
@@ -38,9 +38,19 @@ class LimitedEngine : public CoherenceEngine
 
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
+    void accessBatch(const BlockAccess *accs, std::size_t n) override;
+    void recordInstrs(std::uint64_t n) override;
     const EngineResults &results() const override { return _results; }
     unsigned numUnits() const override { return _nUnits; }
     void reset() override;
+    void reserveBlocks(std::uint64_t blocks) override
+    {
+        _blocks.reserve(blocks);
+    }
+    std::uint64_t blocksTracked() const override
+    {
+        return _blocks.size();
+    }
 
     unsigned numPointers() const { return _nPointers; }
 
@@ -60,7 +70,7 @@ class LimitedEngine : public CoherenceEngine
     unsigned _nUnits;
     unsigned _nPointers;
     EngineResults _results;
-    std::unordered_map<mem::BlockId, BlockState> _blocks;
+    util::FlatMap<mem::BlockId, BlockState> _blocks;
 };
 
 } // namespace dirsim::coherence

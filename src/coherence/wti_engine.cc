@@ -51,6 +51,20 @@ WtiEngine::access(unsigned unit, trace::RefType type,
 }
 
 void
+WtiEngine::accessBatch(const BlockAccess *accs, std::size_t n)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < n; ++i)
+        access(accs[i].unit, accs[i].type, accs[i].block);
+}
+
+void
+WtiEngine::recordInstrs(std::uint64_t n)
+{
+    _results.events.record(Event::Instr, n);
+}
+
+void
 WtiEngine::handleRead(unsigned unit, BlockState &st)
 {
     const std::uint64_t unit_bit = 1ULL << unit;

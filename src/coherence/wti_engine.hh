@@ -20,15 +20,14 @@
 #ifndef DIRSIM_COHERENCE_WTI_ENGINE_HH
 #define DIRSIM_COHERENCE_WTI_ENGINE_HH
 
-#include <unordered_map>
-
 #include "coherence/engine.hh"
+#include "util/flat_map.hh"
 
 namespace dirsim::coherence
 {
 
 /** Snoopy write-through-with-invalidate engine. */
-class WtiEngine : public CoherenceEngine
+class WtiEngine final : public CoherenceEngine
 {
   public:
     /**
@@ -42,9 +41,19 @@ class WtiEngine : public CoherenceEngine
 
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
+    void accessBatch(const BlockAccess *accs, std::size_t n) override;
+    void recordInstrs(std::uint64_t n) override;
     const EngineResults &results() const override { return _results; }
     unsigned numUnits() const override { return _nUnits; }
     void reset() override;
+    void reserveBlocks(std::uint64_t blocks) override
+    {
+        _blocks.reserve(blocks);
+    }
+    std::uint64_t blocksTracked() const override
+    {
+        return _blocks.size();
+    }
 
   private:
     struct BlockState
@@ -59,7 +68,7 @@ class WtiEngine : public CoherenceEngine
     unsigned _nUnits;
     bool _allocate;
     EngineResults _results;
-    std::unordered_map<mem::BlockId, BlockState> _blocks;
+    util::FlatMap<mem::BlockId, BlockState> _blocks;
 };
 
 } // namespace dirsim::coherence

@@ -1,0 +1,101 @@
+#include "directory/arena.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dirsim::directory
+{
+
+DirEntryArena::DirEntryArena(const DirEntryFactory *factory,
+                             unsigned nUnits)
+    : _factory(factory), _nUnits(nUnits)
+{
+    if (!_factory)
+        return;
+    const std::size_t align = _factory->entryAlign();
+    if (align > alignof(std::max_align_t))
+        throw std::invalid_argument(
+            "DirEntryArena: over-aligned entries are not supported");
+    // Round the slot up so consecutive slots stay aligned.
+    _slotBytes = (_factory->entryBytes() + align - 1) / align * align;
+}
+
+DirEntryArena::~DirEntryArena()
+{
+    clear();
+}
+
+DirEntryArena::DirEntryArena(DirEntryArena &&other) noexcept
+    : _factory(other._factory), _nUnits(other._nUnits),
+      _slotBytes(other._slotBytes), _chunks(std::move(other._chunks)),
+      _entries(std::move(other._entries))
+{
+    other._factory = nullptr;
+    other._chunks.clear();
+    other._entries.clear();
+}
+
+DirEntryArena &
+DirEntryArena::operator=(DirEntryArena &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    clear();
+    _factory = other._factory;
+    _nUnits = other._nUnits;
+    _slotBytes = other._slotBytes;
+    _chunks = std::move(other._chunks);
+    _entries = std::move(other._entries);
+    other._factory = nullptr;
+    other._chunks.clear();
+    other._entries.clear();
+    return *this;
+}
+
+std::byte *
+DirEntryArena::slot(std::size_t index)
+{
+    return _chunks[index / chunkEntries].get() +
+           (index % chunkEntries) * _slotBytes;
+}
+
+void
+DirEntryArena::addChunk()
+{
+    _chunks.push_back(
+        std::make_unique<std::byte[]>(chunkEntries * _slotBytes));
+}
+
+DirEntryArena::Index
+DirEntryArena::allocate()
+{
+    assert(enabled());
+    const std::size_t index = _entries.size();
+    assert(index < npos);
+    if (index / chunkEntries >= _chunks.size())
+        addChunk();
+    _entries.push_back(_factory->construct(slot(index), _nUnits));
+    return static_cast<Index>(index);
+}
+
+void
+DirEntryArena::clear()
+{
+    for (DirEntry *entry : _entries)
+        entry->~DirEntry();
+    _entries.clear();
+}
+
+void
+DirEntryArena::reserve(std::size_t entries)
+{
+    if (!enabled())
+        return;
+    _entries.reserve(entries);
+    const std::size_t chunks =
+        (entries + chunkEntries - 1) / chunkEntries;
+    while (_chunks.size() < chunks)
+        addChunk();
+}
+
+} // namespace dirsim::directory

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bulk storage for directory entries.
+ *
+ * The seed implementation gave every tracked block its own
+ * heap-allocated DirEntry behind a unique_ptr — one malloc per block
+ * and pointer-chasing on every directory consultation.  The arena
+ * replaces that with placement-constructed entries in chunked byte
+ * buffers: entries of one organisation all have the same size (the
+ * factory reports it), so allocation is a bump of the entry count and
+ * entries are addressed by a 32-bit index instead of a pointer.
+ * clear() destroys the entries but keeps the chunks, so a reset()/
+ * rerun cycle reuses the storage without touching the allocator.
+ *
+ * The arena may be constructed without a factory ("disabled"), for
+ * engines not shadowing any directory organisation; allocate() must
+ * not be called in that state.
+ */
+
+#ifndef DIRSIM_DIRECTORY_ARENA_HH
+#define DIRSIM_DIRECTORY_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "directory/entry.hh"
+
+namespace dirsim::directory
+{
+
+/** Chunked placement-new storage for one organisation's entries. */
+class DirEntryArena
+{
+  public:
+    /** Entry handle; stable across arena growth (unlike pointers
+     *  into a reallocating container). */
+    using Index = std::uint32_t;
+    /** The "no entry" handle. */
+    static constexpr Index npos = 0xffffffffu;
+
+    /** Disabled arena: no factory, allocate() is invalid. */
+    DirEntryArena() = default;
+    /** Arena producing blank @p factory entries for @p nUnits caches.
+     *  A null @p factory yields a disabled arena. */
+    DirEntryArena(const DirEntryFactory *factory, unsigned nUnits);
+    ~DirEntryArena();
+
+    DirEntryArena(DirEntryArena &&other) noexcept;
+    DirEntryArena &operator=(DirEntryArena &&other) noexcept;
+    DirEntryArena(const DirEntryArena &) = delete;
+    DirEntryArena &operator=(const DirEntryArena &) = delete;
+
+    /** Does the arena have a factory to construct entries with? */
+    bool enabled() const { return _factory != nullptr; }
+
+    /** Construct one blank entry; returns its handle. */
+    Index allocate();
+
+    DirEntry &entry(Index index) { return *_entries[index]; }
+    const DirEntry &entry(Index index) const
+    {
+        return *_entries[index];
+    }
+
+    /** Live entries. */
+    std::size_t size() const { return _entries.size(); }
+
+    /** Destroy every entry but keep the chunk storage. */
+    void clear();
+
+    /** Pre-allocate storage for @p entries entries (no-op when
+     *  disabled). */
+    void reserve(std::size_t entries);
+
+  private:
+    /** Entries per chunk: big enough to amortise the chunk malloc,
+     *  small enough that over-reserve wastes little. */
+    static constexpr std::size_t chunkEntries = 1024;
+
+    /** Slot address of entry @p index (may be unconstructed). */
+    std::byte *slot(std::size_t index);
+    /** Append one chunk of raw storage. */
+    void addChunk();
+
+    const DirEntryFactory *_factory = nullptr;
+    unsigned _nUnits = 0;
+    std::size_t _slotBytes = 0;
+    std::vector<std::unique_ptr<std::byte[]>> _chunks;
+    /** Constructed entries, by index; the indirection keeps entry()
+     *  a single load regardless of chunk geometry. */
+    std::vector<DirEntry *> _entries;
+};
+
+} // namespace dirsim::directory
+
+#endif // DIRSIM_DIRECTORY_ARENA_HH

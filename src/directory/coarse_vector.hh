@@ -56,6 +56,18 @@ class CoarseVectorFactory : public DirEntryFactory
 {
   public:
     std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+    std::size_t entryBytes() const override
+    {
+        return sizeof(CoarseVectorEntry);
+    }
+    std::size_t entryAlign() const override
+    {
+        return alignof(CoarseVectorEntry);
+    }
+    DirEntry *construct(void *mem, unsigned nUnits) const override
+    {
+        return new (mem) CoarseVectorEntry(nUnits);
+    }
 };
 
 } // namespace dirsim::directory

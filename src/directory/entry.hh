@@ -16,8 +16,10 @@
 #ifndef DIRSIM_DIRECTORY_ENTRY_HH
 #define DIRSIM_DIRECTORY_ENTRY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 
 namespace dirsim::directory
 {
@@ -66,13 +68,29 @@ class DirEntry
                                       bool writerHasCopy) const = 0;
 };
 
-/** Creates blank entries of one organisation. */
+/**
+ * Creates blank entries of one organisation.
+ *
+ * Two creation paths: make() heap-allocates an owned entry (tests,
+ * ad-hoc use), while the size/align/construct triple lets
+ * DirEntryArena placement-construct entries in bulk storage — the
+ * hot path, where one malloc per block would dominate.
+ */
 class DirEntryFactory
 {
   public:
     virtual ~DirEntryFactory() = default;
     /** @param nUnits Number of caches in the system. */
     virtual std::unique_ptr<DirEntry> make(unsigned nUnits) const = 0;
+
+    /** Bytes one entry of this organisation occupies. */
+    virtual std::size_t entryBytes() const = 0;
+    /** Alignment one entry requires. */
+    virtual std::size_t entryAlign() const = 0;
+    /** Placement-construct a blank entry in @p mem (entryBytes()
+     *  bytes, entryAlign()-aligned).  Destruction is the caller's:
+     *  invoke the virtual destructor, do not delete. */
+    virtual DirEntry *construct(void *mem, unsigned nUnits) const = 0;
 };
 
 } // namespace dirsim::directory

@@ -45,6 +45,18 @@ class FullMapFactory : public DirEntryFactory
 {
   public:
     std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+    std::size_t entryBytes() const override
+    {
+        return sizeof(FullMapEntry);
+    }
+    std::size_t entryAlign() const override
+    {
+        return alignof(FullMapEntry);
+    }
+    DirEntry *construct(void *mem, unsigned nUnits) const override
+    {
+        return new (mem) FullMapEntry(nUnits);
+    }
 };
 
 } // namespace dirsim::directory

@@ -69,6 +69,19 @@ class LimitedPointerFactory : public DirEntryFactory
     }
 
     std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+    std::size_t entryBytes() const override
+    {
+        return sizeof(LimitedPointerEntry);
+    }
+    std::size_t entryAlign() const override
+    {
+        return alignof(LimitedPointerEntry);
+    }
+    DirEntry *construct(void *mem, unsigned nUnits) const override
+    {
+        return new (mem)
+            LimitedPointerEntry(nUnits, _nPointers, _allowBroadcast);
+    }
 
   private:
     unsigned _nPointers;

@@ -52,6 +52,18 @@ class TwoBitFactory : public DirEntryFactory
 {
   public:
     std::unique_ptr<DirEntry> make(unsigned nUnits) const override;
+    std::size_t entryBytes() const override
+    {
+        return sizeof(TwoBitEntry);
+    }
+    std::size_t entryAlign() const override
+    {
+        return alignof(TwoBitEntry);
+    }
+    DirEntry *construct(void *mem, unsigned nUnits) const override
+    {
+        return new (mem) TwoBitEntry(nUnits);
+    }
 };
 
 } // namespace dirsim::directory

@@ -105,4 +105,27 @@ AddressSpace::osPerCpuAddr(unsigned cpu, Rng &rng) const
            rng.nextBelow(_cfg.osPerCpuBlocks) * _cfg.blockBytes;
 }
 
+std::uint64_t
+expectedUniqueBlocks(const AddressSpaceConfig &cfg)
+{
+    std::uint64_t blocks = 0;
+    blocks += static_cast<std::uint64_t>(cfg.codeBlocksPerProc) *
+              cfg.nProcesses;
+    blocks += static_cast<std::uint64_t>(cfg.privateBlocksPerProc) *
+              cfg.nProcesses;
+    blocks += cfg.sharedReadBlocks;
+    blocks += cfg.sharedWriteBlocks;
+    blocks += static_cast<std::uint64_t>(cfg.migratoryObjects) *
+              cfg.blocksPerMigratoryObject;
+    // Each lock word gets its own block unless the false-sharing mode
+    // packs two per block.
+    blocks += cfg.falseSharingLocks ? (cfg.nLocks + 1) / 2 : cfg.nLocks;
+    blocks += static_cast<std::uint64_t>(cfg.nLocks) *
+              cfg.protectedBlocksPerLock;
+    blocks += cfg.osCodeBlocks;
+    blocks += cfg.osSharedBlocks;
+    blocks += static_cast<std::uint64_t>(cfg.osPerCpuBlocks) * cfg.nCpus;
+    return blocks;
+}
+
 } // namespace dirsim::gen

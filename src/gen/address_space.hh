@@ -51,6 +51,14 @@ struct AddressSpaceConfig
     bool falseSharingLocks = false;
 };
 
+/**
+ * Expected distinct coherence blocks a workload over @p cfg can touch:
+ * the sum of every region's block count.  An upper bound (cold private
+ * blocks may never be referenced) used as the reserve() hint for the
+ * engines' per-block tables via sim::SimConfig::expectedBlocks.
+ */
+std::uint64_t expectedUniqueBlocks(const AddressSpaceConfig &cfg);
+
 /** Computes concrete byte addresses for every region. */
 class AddressSpace
 {

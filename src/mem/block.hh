@@ -9,6 +9,7 @@
 #ifndef DIRSIM_MEM_BLOCK_HH
 #define DIRSIM_MEM_BLOCK_HH
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 
@@ -29,13 +30,14 @@ isPow2(std::uint64_t v)
 constexpr unsigned
 log2Exact(std::uint64_t v)
 {
-    unsigned bits = 0;
-    while (v > 1) {
-        v >>= 1;
-        ++bits;
-    }
-    return bits;
+    assert(isPow2(v));
+    return static_cast<unsigned>(std::countr_zero(v));
 }
+
+static_assert(log2Exact(1) == 0);
+static_assert(log2Exact(2) == 1);
+static_assert(log2Exact(16) == 4);
+static_assert(log2Exact(1ULL << 63) == 63);
 
 /** Map a byte address to its block identifier. */
 constexpr BlockId
@@ -43,6 +45,35 @@ blockId(std::uint64_t addr, unsigned blockBytes)
 {
     return addr / blockBytes;
 }
+
+/**
+ * Per-record address→block mapping with the divisor analysed once.
+ *
+ * blockId()'s 64-bit division by a runtime divisor costs tens of
+ * cycles; every realistic block size is a power of two, for which a
+ * shift suffices.  Construct once per stream, apply per record.
+ */
+class BlockMapper
+{
+  public:
+    explicit constexpr BlockMapper(unsigned blockBytes)
+        : _bytes(blockBytes),
+          _shift(isPow2(blockBytes) ? log2Exact(blockBytes) : 0),
+          _pow2(isPow2(blockBytes))
+    {
+    }
+
+    constexpr BlockId
+    operator()(std::uint64_t addr) const
+    {
+        return _pow2 ? addr >> _shift : addr / _bytes;
+    }
+
+  private:
+    unsigned _bytes;
+    unsigned _shift;
+    bool _pow2;
+};
 
 /** First byte address of a block. */
 constexpr std::uint64_t

@@ -6,9 +6,8 @@
 #ifndef DIRSIM_MEM_INFINITE_HH
 #define DIRSIM_MEM_INFINITE_HH
 
-#include <unordered_set>
-
 #include "mem/tag_store.hh"
+#include "util/flat_set.hh"
 
 namespace dirsim::mem
 {
@@ -21,7 +20,7 @@ class InfiniteTagStore : public TagStore
     touch(BlockId block) override
     {
         TouchResult result;
-        result.hit = !_resident.insert(block).second;
+        result.hit = !_resident.insert(block);
         return result;
     }
 
@@ -30,7 +29,7 @@ class InfiniteTagStore : public TagStore
     bool
     contains(BlockId block) const override
     {
-        return _resident.count(block) != 0;
+        return _resident.contains(block);
     }
 
     std::uint64_t size() const override { return _resident.size(); }
@@ -38,7 +37,7 @@ class InfiniteTagStore : public TagStore
     void clear() override { _resident.clear(); }
 
   private:
-    std::unordered_set<BlockId> _resident;
+    util::FlatSet<BlockId> _resident;
 };
 
 } // namespace dirsim::mem

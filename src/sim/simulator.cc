@@ -16,7 +16,10 @@ constexpr std::size_t batchRecords = 4096;
 
 } // namespace
 
-Simulator::Simulator(const SimConfig &cfg) : _cfg(cfg) {}
+Simulator::Simulator(const SimConfig &cfg)
+    : _cfg(cfg), _unitMap(cfg.domain)
+{
+}
 
 coherence::CoherenceEngine &
 Simulator::addEngine(std::unique_ptr<coherence::CoherenceEngine> engine)
@@ -25,20 +28,14 @@ Simulator::addEngine(std::unique_ptr<coherence::CoherenceEngine> engine)
     return *_engines.back();
 }
 
-unsigned
-Simulator::mapUnit(const trace::TraceRecord &rec)
-{
-    const unsigned key = _cfg.domain == SharingDomain::Process
-                             ? rec.pid
-                             : rec.cpu;
-    auto [it, inserted] =
-        _unitMap.try_emplace(key, static_cast<unsigned>(_unitMap.size()));
-    return it->second;
-}
-
 std::uint64_t
 Simulator::run(trace::RefSource &source)
 {
+    if (_cfg.expectedBlocks != 0) {
+        for (auto &engine : _engines)
+            engine->reserveBlocks(_cfg.expectedBlocks);
+    }
+
     // The capacity shared by every engine; a unit index at or beyond
     // it can reach no engine, so it is checked while mapping units —
     // before the batch is dispatched anywhere.
@@ -51,24 +48,25 @@ Simulator::run(trace::RefSource &source)
         }
     }
 
-    struct Access
-    {
-        unsigned unit;
-        trace::RefType type;
-        mem::BlockId block;
-    };
-
     std::uint64_t processed = 0;
+    const mem::BlockMapper toBlock(_cfg.blockBytes);
     std::vector<trace::TraceRecord> records(batchRecords);
-    std::vector<Access> batch(batchRecords);
+    std::vector<coherence::BlockAccess> batch(batchRecords);
     std::size_t n;
     while ((n = source.nextBatch(records.data(), batchRecords)) != 0) {
         // Map (and validate) the whole batch first: if the trace
         // overflows the smallest engine, no engine has seen any part
         // of this batch yet, and resetting them undoes the prefix.
+        // Instruction fetches change no engine state, so they are
+        // stripped here and reported in bulk — the unit map still
+        // sees every record, keeping first-seen numbering intact.
+        // The strip is branchless (write, then advance conditionally):
+        // instruction/data interleaving is close to a coin flip, and a
+        // mispredicted branch per record costs more than the store.
+        std::size_t nData = 0;
         for (std::size_t i = 0; i < n; ++i) {
             const trace::TraceRecord &rec = records[i];
-            const unsigned unit = mapUnit(rec);
+            const unsigned unit = _unitMap.map(rec);
             if (unit >= capacity) {
                 for (auto &engine : _engines)
                     engine->reset();
@@ -78,13 +76,14 @@ Simulator::run(trace::RefSource &source)
                     "engine '" + smallest->results().name +
                     "' supports");
             }
-            batch[i] = {unit, rec.type,
-                        mem::blockId(rec.addr, _cfg.blockBytes)};
+            batch[nData] = {unit, rec.type, toBlock(rec.addr)};
+            nData += rec.type != trace::RefType::Instr;
         }
+        const std::uint64_t nInstr = n - nData;
         for (auto &engine : _engines) {
-            for (std::size_t i = 0; i < n; ++i)
-                engine->access(batch[i].unit, batch[i].type,
-                               batch[i].block);
+            if (nInstr != 0)
+                engine->recordInstrs(nInstr);
+            engine->accessBatch(batch.data(), nData);
         }
         processed += n;
     }

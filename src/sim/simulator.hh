@@ -19,27 +19,28 @@
 #define DIRSIM_SIM_SIMULATOR_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/engine.hh"
+#include "sim/unit_map.hh"
 #include "trace/ref_source.hh"
 
 namespace dirsim::sim
 {
-
-/** Which identifier defines a "cache" for sharing purposes. */
-enum class SharingDomain
-{
-    Process,  //!< One cache per process (the paper's default).
-    Processor,//!< One cache per CPU.
-};
 
 /** Driver configuration. */
 struct SimConfig
 {
     unsigned blockBytes = 16; //!< The paper's 4-word block.
     SharingDomain domain = SharingDomain::Process;
+    /**
+     * Expected distinct blocks the trace touches (0 = unknown).  A
+     * hint only — forwarded to each engine's reserveBlocks() before
+     * streaming so the per-block tables are sized once instead of
+     * rehashing while the hot loop runs.  gen::expectedUniqueBlocks()
+     * derives it from workload metadata.
+     */
+    std::uint64_t expectedBlocks = 0;
 };
 
 /** Runs traces through a set of coherence engines. */
@@ -85,18 +86,12 @@ class Simulator
     }
 
     /** Distinct sharing units seen so far. */
-    unsigned unitsSeen() const
-    {
-        return static_cast<unsigned>(_unitMap.size());
-    }
+    unsigned unitsSeen() const { return _unitMap.size(); }
 
   private:
-    unsigned mapUnit(const trace::TraceRecord &rec);
-
     SimConfig _cfg;
     std::vector<std::unique_ptr<coherence::CoherenceEngine>> _engines;
-    /** pid or cpu -> dense unit index. */
-    std::unordered_map<unsigned, unsigned> _unitMap;
+    UnitMapper _unitMap;
 };
 
 } // namespace dirsim::sim

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "sim/unit_map.hh"
 #include "timing/event_queue.hh"
 #include "timing/transactions.hh"
 
@@ -84,13 +84,18 @@ TimedBusSim::run(trace::RefSource &source)
     // Validates the cost options before anything runs.
     TransactionModel model(_cfg.scheme, _cfg.bus.costs, _cfg.costOpts);
     _engine->reset();
+    if (_cfg.sim.expectedBlocks != 0)
+        _engine->reserveBlocks(_cfg.sim.expectedBlocks);
 
-    // Demux the stream into per-CPU ports, mapping sharing units the
-    // way sim::Simulator does.  Unit capacity is checked here, before
-    // the engine sees any reference.
+    // Demux the stream into per-CPU ports, mapping sharing units with
+    // the same UnitMapper sim::Simulator uses (so timed and untimed
+    // runs agree on unit numbering).  Port demux always keys by CPU,
+    // whatever the sharing domain.  Unit capacity is checked here,
+    // before the engine sees any reference.
     std::vector<RequestPort> ports;
-    std::unordered_map<unsigned, unsigned> cpuMap;
-    std::unordered_map<unsigned, unsigned> unitMap;
+    sim::UnitMapper cpuMap(sim::SharingDomain::Processor);
+    sim::UnitMapper unitMap(_cfg.sim.domain);
+    const mem::BlockMapper toBlock(_cfg.sim.blockBytes);
     const unsigned capacity = _engine->numUnits();
 
     constexpr std::size_t batchRecords = 4096;
@@ -99,27 +104,17 @@ TimedBusSim::run(trace::RefSource &source)
     while ((n = source.nextBatch(records.data(), batchRecords)) != 0) {
         for (std::size_t i = 0; i < n; ++i) {
             const trace::TraceRecord &rec = records[i];
-            const unsigned unitKey =
-                _cfg.sim.domain == sim::SharingDomain::Process
-                    ? rec.pid
-                    : rec.cpu;
-            const auto uit = unitMap
-                                 .try_emplace(unitKey,
-                                              static_cast<unsigned>(
-                                                  unitMap.size()))
-                                 .first;
-            if (uit->second >= capacity)
+            const unsigned unit = unitMap.map(rec);
+            if (unit >= capacity)
                 throw std::runtime_error(
                     "TimedBusSim: trace uses more sharing units than "
                     "engine '" + _engine->results().name +
                     "' supports");
-            const auto [cit, cinserted] = cpuMap.try_emplace(
-                rec.cpu, static_cast<unsigned>(cpuMap.size()));
-            if (cinserted)
-                ports.emplace_back(cit->second);
-            ports[cit->second].appendRef(
-                PortRef{uit->second, rec.type,
-                        mem::blockId(rec.addr, _cfg.sim.blockBytes)});
+            const unsigned cpu = cpuMap.map(rec);
+            if (cpu == ports.size())
+                ports.emplace_back(cpu);
+            ports[cpu].appendRef(
+                PortRef{unit, rec.type, toBlock(rec.addr)});
         }
     }
 

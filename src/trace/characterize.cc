@@ -1,6 +1,6 @@
 #include "trace/characterize.hh"
 
-#include <unordered_map>
+#include "util/flat_map.hh"
 
 namespace dirsim::trace
 {
@@ -39,7 +39,7 @@ characterize(RefSource &source, const std::string &name,
         std::uint64_t refs = 0;
         std::uint64_t writes = 0;
     };
-    std::unordered_map<std::uint64_t, BlockInfo> blocks;
+    util::FlatMap<std::uint64_t, BlockInfo> blocks;
 
     TraceRecord rec;
     while (source.next(rec)) {
@@ -61,8 +61,7 @@ characterize(RefSource &source, const std::string &name,
         }
 
         const std::uint64_t block = rec.addr / blockBytes;
-        auto [it, inserted] = blocks.try_emplace(block);
-        BlockInfo &info = it->second;
+        auto [info, inserted] = blocks.tryEmplace(block);
         if (inserted)
             info.firstPid = rec.pid;
         else if (!info.shared && info.firstPid != rec.pid)
@@ -73,13 +72,13 @@ characterize(RefSource &source, const std::string &name,
     }
 
     ch.uniqueDataBlocks = blocks.size();
-    for (const auto &[block, info] : blocks) {
+    blocks.forEach([&ch](std::uint64_t, const BlockInfo &info) {
         if (info.shared) {
             ++ch.sharedDataBlocks;
             ch.refsToSharedBlocks += info.refs;
             ch.writesToSharedBlocks += info.writes;
         }
-    }
+    });
     return ch;
 }
 

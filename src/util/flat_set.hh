@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Open-addressing hash set; the key-only sibling of util::FlatMap.
+ *
+ * Used where the hot path needs membership only (the infinite tag
+ * stores: one touch per simulated reference per cache).  Same layout
+ * and contract as FlatMap — linear probing over one contiguous key
+ * array, power-of-two capacity, tombstone deletion with reuse, and
+ * clear()-without-free — without the value array.
+ */
+
+#ifndef DIRSIM_UTIL_FLAT_SET_HH
+#define DIRSIM_UTIL_FLAT_SET_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_map.hh"
+
+namespace dirsim::util
+{
+
+/** Linear-probing open-addressing set of integer-like keys. */
+template <typename K, typename Hash = FlatHash<K>>
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    /** Slot count (0 before the first insert/reserve). */
+    std::size_t capacity() const { return _ctrl.size(); }
+
+    /** Add @p key.  @return true when it was not already present. */
+    bool
+    insert(const K &key)
+    {
+        if (_ctrl.empty())
+            rehash(minCapacity);
+        std::size_t idx = _hash(key) & _mask;
+        std::size_t tomb = npos;
+        while (_ctrl[idx] != slotEmpty) {
+            if (_ctrl[idx] == slotTomb) {
+                if (tomb == npos)
+                    tomb = idx;
+            } else if (_keys[idx] == key) {
+                return false;
+            }
+            idx = (idx + 1) & _mask;
+        }
+        if (tomb != npos) {
+            idx = tomb;
+        } else {
+            if (_used + 1 > (capacity() * 3) / 4) {
+                rehash(_size + 1 > capacity() / 2 ? capacity() * 2
+                                                  : capacity());
+                idx = _hash(key) & _mask;
+                while (_ctrl[idx] == slotFull)
+                    idx = (idx + 1) & _mask;
+            }
+            ++_used;
+        }
+        _ctrl[idx] = slotFull;
+        _keys[idx] = key;
+        ++_size;
+        return true;
+    }
+
+    bool
+    contains(const K &key) const
+    {
+        return findIndex(key) != npos;
+    }
+
+    /** Remove @p key.  @return true when it was present. */
+    bool
+    erase(const K &key)
+    {
+        const std::size_t idx = findIndex(key);
+        if (idx == npos)
+            return false;
+        _ctrl[idx] = slotTomb;
+        --_size;
+        return true;
+    }
+
+    /** Drop every element but keep the table memory. */
+    void
+    clear()
+    {
+        std::fill(_ctrl.begin(), _ctrl.end(), slotEmpty);
+        _size = 0;
+        _used = 0;
+    }
+
+    /** Grow so @p count elements fit without rehashing. */
+    void
+    reserve(std::size_t count)
+    {
+        const std::size_t cap = capacityFor(count);
+        if (cap > capacity())
+            rehash(cap);
+    }
+
+    /** Visit every key; table order, not insertion order. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::size_t idx = 0; idx < _ctrl.size(); ++idx)
+            if (_ctrl[idx] == slotFull)
+                f(_keys[idx]);
+    }
+
+  private:
+    enum : std::uint8_t
+    {
+        slotEmpty = 0,
+        slotFull = 1,
+        slotTomb = 2,
+    };
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    static constexpr std::size_t minCapacity = 16;
+
+    static std::size_t
+    capacityFor(std::size_t count)
+    {
+        std::size_t cap = minCapacity;
+        while (count > (cap * 3) / 4)
+            cap *= 2;
+        return cap;
+    }
+
+    std::size_t
+    findIndex(const K &key) const
+    {
+        if (_ctrl.empty())
+            return npos;
+        std::size_t idx = _hash(key) & _mask;
+        while (_ctrl[idx] != slotEmpty) {
+            if (_ctrl[idx] == slotFull && _keys[idx] == key)
+                return idx;
+            idx = (idx + 1) & _mask;
+        }
+        return npos;
+    }
+
+    void
+    rehash(std::size_t newCapacity)
+    {
+        assert((newCapacity & (newCapacity - 1)) == 0);
+        std::vector<std::uint8_t> ctrl(newCapacity, slotEmpty);
+        std::vector<K> keys(newCapacity);
+        const std::size_t mask = newCapacity - 1;
+        for (std::size_t idx = 0; idx < _ctrl.size(); ++idx) {
+            if (_ctrl[idx] != slotFull)
+                continue;
+            std::size_t at = _hash(_keys[idx]) & mask;
+            while (ctrl[at] == slotFull)
+                at = (at + 1) & mask;
+            ctrl[at] = slotFull;
+            keys[at] = _keys[idx];
+        }
+        _ctrl = std::move(ctrl);
+        _keys = std::move(keys);
+        _mask = mask;
+        _used = _size;
+    }
+
+    std::vector<std::uint8_t> _ctrl;
+    std::vector<K> _keys;
+    std::size_t _mask = 0;
+    std::size_t _size = 0; //!< Full slots.
+    std::size_t _used = 0; //!< Full + tombstone slots.
+    [[no_unique_address]] Hash _hash{};
+};
+
+} // namespace dirsim::util
+
+#endif // DIRSIM_UTIL_FLAT_SET_HH

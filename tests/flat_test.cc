@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Property tests for util::FlatMap / util::FlatSet.
+ *
+ * The flat tables back every per-block hot structure, so they are
+ * checked against the standard containers under long randomized
+ * operation sequences — insert, erase (tombstones), re-insert
+ * (tombstone reuse), clear (capacity-preserving) and reserve
+ * (rehash) — with key distributions chosen to stress probing:
+ * uniform, sequential (block ids), and strided/clustered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/flat_map.hh"
+#include "util/flat_set.hh"
+
+namespace
+{
+
+using dirsim::util::FlatMap;
+using dirsim::util::FlatSet;
+
+/** Key generators stressing different probe patterns. */
+std::uint64_t
+drawKey(std::mt19937_64 &rng, int mode, std::uint64_t range)
+{
+    switch (mode) {
+      case 0: // Uniform over a small range: heavy key reuse.
+        return rng() % range;
+      case 1: // Sequential-ish: what block ids look like.
+        return (rng() % range) + 0x1000;
+      default: // Strided clusters: worst case for identity hashing.
+        return (rng() % range) * 4096;
+    }
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomizedOps)
+{
+    for (int mode = 0; mode < 3; ++mode) {
+        std::mt19937_64 rng(0x15CA1988u + mode);
+        FlatMap<std::uint64_t, std::uint64_t> flat;
+        std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+        for (int op = 0; op < 200000; ++op) {
+            const std::uint64_t key = drawKey(rng, mode, 4096);
+            const unsigned action = rng() % 100;
+            if (action < 55) {
+                // tryEmplace + mutate, exactly like the engines do.
+                auto emplaced = flat.tryEmplace(key);
+                auto [it, inserted] = ref.try_emplace(key, 0);
+                ASSERT_EQ(emplaced.inserted, inserted);
+                ASSERT_EQ(emplaced.value, it->second);
+                emplaced.value += op;
+                it->second += op;
+            } else if (action < 75) {
+                ASSERT_EQ(flat.erase(key), ref.erase(key) != 0);
+            } else if (action < 90) {
+                const auto *found = flat.find(key);
+                const auto it = ref.find(key);
+                ASSERT_EQ(found != nullptr, it != ref.end());
+                if (found)
+                    ASSERT_EQ(*found, it->second);
+                ASSERT_EQ(flat.contains(key), it != ref.end());
+            } else if (action < 95) {
+                flat[key] = op;
+                ref[key] = op;
+            } else if (action == 95) {
+                // Rare: capacity-preserving clear.
+                const std::size_t cap = flat.capacity();
+                flat.clear();
+                ref.clear();
+                ASSERT_EQ(flat.capacity(), cap);
+                ASSERT_TRUE(flat.empty());
+            } else if (action == 96) {
+                flat.reserve(rng() % 10000);
+            }
+            ASSERT_EQ(flat.size(), ref.size());
+        }
+
+        // Full-content equality, both directions.
+        std::size_t visited = 0;
+        flat.forEach([&](std::uint64_t k, std::uint64_t v) {
+            ++visited;
+            auto it = ref.find(k);
+            ASSERT_NE(it, ref.end());
+            ASSERT_EQ(v, it->second);
+        });
+        ASSERT_EQ(visited, ref.size());
+        for (const auto &[k, v] : ref) {
+            const auto *found = flat.find(k);
+            ASSERT_NE(found, nullptr);
+            ASSERT_EQ(*found, v);
+        }
+    }
+}
+
+TEST(FlatSet, MatchesUnorderedSetUnderRandomizedOps)
+{
+    for (int mode = 0; mode < 3; ++mode) {
+        std::mt19937_64 rng(0xA11CEu + mode);
+        FlatSet<std::uint64_t> flat;
+        std::unordered_set<std::uint64_t> ref;
+
+        for (int op = 0; op < 200000; ++op) {
+            const std::uint64_t key = drawKey(rng, mode, 4096);
+            const unsigned action = rng() % 100;
+            if (action < 55) {
+                ASSERT_EQ(flat.insert(key), ref.insert(key).second);
+            } else if (action < 80) {
+                ASSERT_EQ(flat.erase(key), ref.erase(key) != 0);
+            } else if (action < 95) {
+                ASSERT_EQ(flat.contains(key), ref.count(key) != 0);
+            } else if (action == 95) {
+                const std::size_t cap = flat.capacity();
+                flat.clear();
+                ref.clear();
+                ASSERT_EQ(flat.capacity(), cap);
+            } else if (action == 96) {
+                flat.reserve(rng() % 10000);
+            }
+            ASSERT_EQ(flat.size(), ref.size());
+        }
+
+        std::size_t visited = 0;
+        flat.forEach([&](std::uint64_t k) {
+            ++visited;
+            ASSERT_TRUE(ref.count(k) != 0);
+        });
+        ASSERT_EQ(visited, ref.size());
+    }
+}
+
+/**
+ * Tombstone reuse: erase/re-insert cycles over a fixed key set must
+ * not grow the table — the freed slots are found on the probe path
+ * and recycled.
+ */
+TEST(FlatMap, TombstoneReuseDoesNotGrowTable)
+{
+    FlatMap<std::uint64_t, int> flat;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        flat[k] = static_cast<int>(k);
+    const std::size_t cap = flat.capacity();
+    for (int cycle = 0; cycle < 10000; ++cycle) {
+        const std::uint64_t k = cycle % 64;
+        ASSERT_TRUE(flat.erase(k));
+        ASSERT_TRUE(flat.tryEmplace(k).inserted);
+        flat[k] = cycle;
+    }
+    EXPECT_EQ(flat.capacity(), cap);
+    EXPECT_EQ(flat.size(), 64u);
+}
+
+TEST(FlatSet, TombstoneReuseDoesNotGrowTable)
+{
+    FlatSet<std::uint64_t> flat;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        flat.insert(k);
+    const std::size_t cap = flat.capacity();
+    for (int cycle = 0; cycle < 10000; ++cycle) {
+        const std::uint64_t k = cycle % 64;
+        ASSERT_TRUE(flat.erase(k));
+        ASSERT_TRUE(flat.insert(k));
+    }
+    EXPECT_EQ(flat.capacity(), cap);
+    EXPECT_EQ(flat.size(), 64u);
+}
+
+/** Values with heap resources survive rehash and reset on reuse. */
+TEST(FlatMap, VectorValuesAcrossRehashEraseAndClear)
+{
+    FlatMap<std::uint64_t, std::vector<int>> flat;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        flat[k].push_back(static_cast<int>(k));
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        const auto *v = flat.find(k);
+        ASSERT_NE(v, nullptr);
+        ASSERT_EQ(v->size(), 1u);
+        ASSERT_EQ((*v)[0], static_cast<int>(k));
+    }
+    // Erase resets the value; a fresh tryEmplace sees an empty vector.
+    ASSERT_TRUE(flat.erase(7));
+    auto emplaced = flat.tryEmplace(7);
+    ASSERT_TRUE(emplaced.inserted);
+    EXPECT_TRUE(emplaced.value.empty());
+    // clear() keeps capacity; reused slots also start empty.
+    flat.clear();
+    EXPECT_TRUE(flat.empty());
+    auto again = flat.tryEmplace(3);
+    ASSERT_TRUE(again.inserted);
+    EXPECT_TRUE(again.value.empty());
+}
+
+TEST(FlatMap, ReserveMakesInsertsRehashFree)
+{
+    FlatMap<std::uint64_t, int> flat;
+    flat.reserve(100000);
+    const std::size_t cap = flat.capacity();
+    for (std::uint64_t k = 0; k < 100000; ++k)
+        flat[k] = 1;
+    EXPECT_EQ(flat.capacity(), cap);
+}
+
+} // namespace

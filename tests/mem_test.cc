@@ -35,6 +35,8 @@ TEST(BlockUtils, Log2Exact)
     EXPECT_EQ(log2Exact(2), 1u);
     EXPECT_EQ(log2Exact(64), 6u);
     EXPECT_EQ(log2Exact(1ULL << 20), 20u);
+    EXPECT_EQ(log2Exact(1ULL << 62), 62u);
+    EXPECT_EQ(log2Exact(1ULL << 63), 63u);
 }
 
 TEST(BlockUtils, BlockIdAndBase)
