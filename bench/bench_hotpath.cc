@@ -15,12 +15,30 @@
  * adds nothing to a best-of-N wall-clock measurement of a
  * deterministic replay loop.
  *
+ * Each engine runs twice: once from the raw MemoryTrace (per-record
+ * unit/block mapping on the replay path) and once from a
+ * trace::PreparedTrace (decode-once SoA columns), so the decode-once
+ * speedup is visible per engine.  The one-time decode cost is timed
+ * and reported separately.
+ *
+ * `--sweep` switches to an end-to-end campaign measurement instead:
+ * the fig2/fig3-style evaluation (standard engines, DiriNB pointer
+ * sweep, Berkeley) runs once with prepared traces disabled and once
+ * through the sim::TraceRepository, and BENCH_sweep.json records the
+ * wall clocks, the decode-vs-replay split and the speedup.
+ *
  * Flags:
- *   --refs N       trace length (default 2,000,000)
+ *   --refs N       trace length (default 2,000,000; ignored by --sweep,
+ *                  which uses the standard quarter-size workloads)
  *   --reps N       repetitions per point, best-of (default 3)
- *   --out PATH     JSON output path (default BENCH_hotpath.json)
+ *   --out PATH     JSON output path (default BENCH_hotpath.json, or
+ *                  BENCH_sweep.json in --sweep mode)
  *   --floor R      fail (exit 1) if the inval point runs below R
- *                  refs/sec (default 0 = disabled)
+ *                  refs/sec — or, in --sweep mode, if the
+ *                  prepared-over-raw speedup falls below R
+ *                  (default 0 = disabled)
+ *   --sweep        measure the end-to-end campaign instead of
+ *                  single-engine replay
  *   --no-reserve   skip the expectedBlocks reserve hint (measures the
  *                  growth-by-rehash path the seed code always paid)
  */
@@ -37,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/evaluation.hh"
 #include "cli/parse.hh"
 #include "coherence/berkeley_engine.hh"
 #include "coherence/dragon_engine.hh"
@@ -47,7 +66,9 @@
 #include "gen/workload.hh"
 #include "gen/workloads.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_repo.hh"
 #include "timing/timed_bus.hh"
+#include "trace/prepared.hh"
 #include "trace/trace.hh"
 
 #include "bench_common.hh"
@@ -61,8 +82,9 @@ struct Options
 {
     std::uint64_t refs = 2'000'000;
     unsigned reps = 3;
-    std::string out = "BENCH_hotpath.json";
+    std::string out;
     double floor = 0.0;
+    bool sweep = false;
     bool reserve = true;
 };
 
@@ -104,15 +126,21 @@ parseOptions(int argc, char **argv)
                              "number, got '" << text << "'\n";
                 std::exit(2);
             }
+        } else if (std::strcmp(argv[a], "--sweep") == 0) {
+            opts.sweep = true;
         } else if (std::strcmp(argv[a], "--no-reserve") == 0) {
             opts.reserve = false;
         } else {
             std::cerr << "error: unknown flag '" << argv[a] << "'\n"
                       << "usage: bench_hotpath [--refs N] [--reps N] "
-                         "[--out PATH] [--floor R] [--no-reserve]\n";
+                         "[--out PATH] [--floor R] [--sweep] "
+                         "[--no-reserve]\n";
             std::exit(2);
         }
     }
+    if (opts.out.empty())
+        opts.out = opts.sweep ? "BENCH_sweep.json"
+                              : "BENCH_hotpath.json";
     return opts;
 }
 
@@ -188,6 +216,33 @@ runEnginePoint(const std::string &name, const EngineMaker &make,
     return pr;
 }
 
+/** Best-of-reps decode-once replay of @p prepared. */
+PointResult
+runPreparedEnginePoint(const std::string &name, const EngineMaker &make,
+                       const trace::PreparedTrace &prepared,
+                       const sim::SimConfig &simCfg, unsigned reps)
+{
+    PointResult pr;
+    pr.name = name + "+prep";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        sim::Simulator simulator(simCfg);
+        coherence::CoherenceEngine &engine =
+            simulator.addEngine(make());
+        bench::WallTimer timer;
+        const std::uint64_t refs = simulator.run(prepared);
+        const double s = timer.seconds();
+        if (rep == 0 || s < pr.seconds) {
+            pr.seconds = s;
+            pr.refs = refs;
+            pr.blocksTracked = engine.blocksTracked();
+        }
+    }
+    pr.refsPerSec = pr.seconds > 0.0
+                        ? static_cast<double>(pr.refs) / pr.seconds
+                        : 0.0;
+    return pr;
+}
+
 /** One timed-bus point: the discrete-event layer on the same trace. */
 PointResult
 runTimedPoint(const trace::MemoryTrace &trace,
@@ -222,6 +277,37 @@ runTimedPoint(const trace::MemoryTrace &trace,
     return pr;
 }
 
+/** The timed-bus layer replaying the prepared per-CPU streams. */
+PointResult
+runTimedPreparedPoint(const trace::PreparedTrace &prepared,
+                      const sim::SimConfig &simCfg, unsigned units,
+                      unsigned reps)
+{
+    PointResult pr;
+    pr.name = "timed-dir0b+prep";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        timing::TimedBusConfig cfg;
+        cfg.scheme = sim::Scheme::Dir0B;
+        cfg.bus = timing::timedPipelinedBus();
+        cfg.sim = simCfg;
+        coherence::InvalEngineConfig ecfg;
+        ecfg.nUnits = units;
+        timing::TimedBusSim sim(
+            cfg, std::make_unique<coherence::InvalEngine>(ecfg));
+        bench::WallTimer timer;
+        const timing::TimedRun run = sim.run(prepared);
+        const double s = timer.seconds();
+        if (rep == 0 || s < pr.seconds) {
+            pr.seconds = s;
+            pr.refs = run.refs;
+        }
+    }
+    pr.refsPerSec = pr.seconds > 0.0
+                        ? static_cast<double>(pr.refs) / pr.seconds
+                        : 0.0;
+    return pr;
+}
+
 long
 peakRssKb()
 {
@@ -233,7 +319,8 @@ peakRssKb()
 
 void
 writeJson(const Options &opts, const gen::WorkloadConfig &workload,
-          const std::vector<PointResult> &points)
+          const std::vector<PointResult> &points,
+          double decodeSeconds)
 {
     std::ofstream os(opts.out);
     if (!os) {
@@ -248,6 +335,7 @@ writeJson(const Options &opts, const gen::WorkloadConfig &workload,
     os << "  \"reserve\": " << (opts.reserve ? "true" : "false")
        << ",\n";
     os << "  \"peak_rss_kb\": " << peakRssKb() << ",\n";
+    os << "  \"decode_seconds\": " << decodeSeconds << ",\n";
     os << "  \"points\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const PointResult &p = points[i];
@@ -263,12 +351,119 @@ writeJson(const Options &opts, const gen::WorkloadConfig &workload,
     os << "}\n";
 }
 
+/**
+ * End-to-end campaign: the fig2/fig3-style evaluation (standard
+ * engines, DiriNB pointer sweep, Berkeley) over the quarter-size
+ * standard workloads.  Returns the number of (workload, engine)
+ * points it ran.
+ */
+unsigned
+runCampaign(const std::vector<gen::WorkloadConfig> &cfgs,
+            const analysis::EvalOptions &opts)
+{
+    const analysis::Evaluation eval =
+        analysis::evaluateWorkloads(cfgs, opts);
+    const std::vector<unsigned> pointers = {1, 2, 4, 8};
+    const auto limited = analysis::limitedSweep(cfgs, pointers, opts);
+    const auto berkeley = analysis::berkeleyResults(cfgs, opts);
+    // Keep the results alive so the optimiser cannot elide a run.
+    if (eval.traces.empty() || limited.empty() ||
+        berkeley.events.totalRefs() == 0)
+        std::cerr << "warning: campaign produced empty results\n";
+    return static_cast<unsigned>(cfgs.size() * 3 +
+                                 cfgs.size() * pointers.size() +
+                                 cfgs.size());
+}
+
+int
+runSweepMode(const Options &opts)
+{
+    const std::vector<gen::WorkloadConfig> cfgs =
+        gen::standardWorkloads();
+    std::cout << "bench_hotpath --sweep: " << cfgs.size()
+              << " workloads, fig2/fig3-style campaign\n";
+
+    // Raw pass: regenerate and re-decode every workload per stage,
+    // as every caller did before the trace repository existed.
+    analysis::EvalOptions raw;
+    raw.usePreparedTraces = false;
+    bench::WallTimer rawTimer;
+    const unsigned points = runCampaign(cfgs, raw);
+    const double rawSeconds = rawTimer.seconds();
+    std::cout << "  raw: " << points << " points in " << rawSeconds
+              << " s\n";
+
+    // Prepared pass from a cold repository: the decode split is the
+    // one-time generate+prepare cost, the replay split is everything
+    // the campaign does on top of the shared prepared traces.
+    analysis::EvalOptions prepared;
+    sim::TraceRepository &repo = sim::TraceRepository::global();
+    repo.clear();
+    trace::PrepareOptions prep;
+    prep.blockBytes = prepared.sim.blockBytes;
+    prep.domain = prepared.sim.domain;
+    bench::WallTimer decodeTimer;
+    for (const gen::WorkloadConfig &cfg : cfgs)
+        repo.get(cfg, prep);
+    const double decodeSeconds = decodeTimer.seconds();
+    bench::WallTimer replayTimer;
+    const unsigned preparedPoints = runCampaign(cfgs, prepared);
+    const double replaySeconds = replayTimer.seconds();
+    const double preparedSeconds = decodeSeconds + replaySeconds;
+    std::cout << "  prepared: decode " << decodeSeconds
+              << " s + replay " << replaySeconds << " s = "
+              << preparedSeconds << " s\n";
+
+    const double speedup =
+        preparedSeconds > 0.0 ? rawSeconds / preparedSeconds : 0.0;
+    std::cout << "  speedup " << speedup << "x ("
+              << repo.buildCount() << " repository builds)\n";
+
+    std::ofstream os(opts.out);
+    if (!os) {
+        std::cerr << "error: cannot write '" << opts.out << "'\n";
+        return 1;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"hotpath-sweep\",\n";
+    os << "  \"workloads\": " << cfgs.size() << ",\n";
+    os << "  \"points\": " << points << ",\n";
+    os << "  \"raw_seconds\": " << rawSeconds << ",\n";
+    os << "  \"raw_points_per_sec\": "
+       << (rawSeconds > 0.0 ? points / rawSeconds : 0.0) << ",\n";
+    os << "  \"decode_seconds\": " << decodeSeconds << ",\n";
+    os << "  \"replay_seconds\": " << replaySeconds << ",\n";
+    os << "  \"prepared_seconds\": " << preparedSeconds << ",\n";
+    os << "  \"prepared_points_per_sec\": "
+       << (preparedSeconds > 0.0 ? preparedPoints / preparedSeconds
+                                 : 0.0)
+       << ",\n";
+    os << "  \"repository_builds\": " << repo.buildCount() << ",\n";
+    os << "  \"peak_rss_kb\": " << peakRssKb() << ",\n";
+    os << "  \"speedup\": " << speedup << "\n";
+    os << "}\n";
+    std::cout << "  wrote " << opts.out << "\n";
+
+    if (opts.floor > 0.0) {
+        if (speedup < opts.floor) {
+            std::cerr << "FAIL: prepared-over-raw speedup " << speedup
+                      << "x below floor " << opts.floor << "x\n";
+            return 1;
+        }
+        std::cout << "  floor check passed (" << speedup
+                  << "x >= " << opts.floor << "x)\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opts = parseOptions(argc, argv);
+    if (opts.sweep)
+        return runSweepMode(opts);
 
     gen::WorkloadConfig workload = gen::popsConfig();
     workload.totalRefs = opts.refs;
@@ -288,11 +483,27 @@ main(int argc, char **argv)
     std::cout << "  trace materialised in " << total.seconds()
               << " s\n";
 
+    trace::PrepareOptions prep;
+    prep.blockBytes = simCfg.blockBytes;
+    prep.domain = simCfg.domain;
+    prep.timedStreams = true;
+    bench::WallTimer decodeTimer;
+    const trace::PreparedTrace prepared =
+        trace::PreparedTrace::build(trace, prep);
+    const double decodeSeconds = decodeTimer.seconds();
+    std::cout << "  prepared decode in " << decodeSeconds << " s ("
+              << prepared.byteSize() / (1024 * 1024) << " MiB SoA)\n";
+
     std::vector<PointResult> points;
-    for (const auto &[name, make] : enginePoints(units))
+    for (const auto &[name, make] : enginePoints(units)) {
         points.push_back(
             runEnginePoint(name, make, trace, simCfg, opts.reps));
+        points.push_back(runPreparedEnginePoint(name, make, prepared,
+                                                simCfg, opts.reps));
+    }
     points.push_back(runTimedPoint(trace, simCfg, units, opts.reps));
+    points.push_back(
+        runTimedPreparedPoint(prepared, simCfg, units, opts.reps));
 
     for (const PointResult &p : points) {
         std::cout << bench::throughputLine(p.name, p.refs, p.seconds);
@@ -303,7 +514,7 @@ main(int argc, char **argv)
     std::cout << "  peak RSS " << peakRssKb() << " KiB, total "
               << total.seconds() << " s\n";
 
-    writeJson(opts, workload, points);
+    writeJson(opts, workload, points, decodeSeconds);
     std::cout << "  wrote " << opts.out << "\n";
 
     if (opts.floor > 0.0) {

@@ -22,6 +22,7 @@
 #include <iostream>
 
 #include "analysis/evaluation.hh"
+#include "cli/parse.hh"
 #include "analysis/exhibits.hh"
 #include "analysis/analytical.hh"
 #include "analysis/extensions.hh"
@@ -35,19 +36,6 @@ namespace
 using namespace dirsim;
 
 std::filesystem::path outDir;
-
-unsigned
-parseJobsValue(const char *text)
-{
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(text, &end, 10);
-    if (end == text || *end != '\0') {
-        std::cerr << "error: invalid --jobs value '" << text
-                  << "' (expected a non-negative integer)\n";
-        std::exit(2);
-    }
-    return static_cast<unsigned>(v);
-}
 
 void
 emit(const std::string &name, const stats::TextTable &table)
@@ -77,9 +65,9 @@ main(int argc, char **argv)
                 std::cerr << "error: --jobs requires a value\n";
                 return 2;
             }
-            jobs = parseJobsValue(argv[++a]);
+            jobs = cli::parseUnsigned(argv[++a], "--jobs");
         } else if (std::strncmp(argv[a], "--jobs=", 7) == 0) {
-            jobs = parseJobsValue(argv[a] + 7);
+            jobs = cli::parseUnsigned(argv[a] + 7, "--jobs");
         } else {
             outDir = argv[a];
         }

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "analysis/exhibits.hh"
+#include "cli/parse.hh"
 #include "coherence/dragon_engine.hh"
 #include "coherence/inval_engine.hh"
 #include "coherence/limited_engine.hh"
@@ -164,14 +165,15 @@ main(int argc, char **argv)
         const std::string cmd = argv[1];
         if (cmd == "gen" && argc >= 4) {
             const std::uint64_t refs =
-                argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+                argc > 4 ? cli::parseUnsigned(argv[4], "gen refs") : 0;
             return cmdGen(argv[2], argv[3], refs);
         }
         if (cmd == "info")
             return cmdInfo(argv[2]);
         if (cmd == "dump") {
             const std::size_t n =
-                argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20;
+                argc > 3 ? cli::parseUnsigned(argv[3], "dump count")
+                         : 20;
             return cmdDump(argv[2], n);
         }
         if (cmd == "sim")

@@ -7,7 +7,9 @@
 #include "gen/workload.hh"
 #include "sim/sweep.hh"
 #include "sim/thread_pool.hh"
+#include "sim/trace_repo.hh"
 #include "trace/filter.hh"
+#include "trace/prepared.hh"
 #include "trace/trace.hh"
 
 #include <algorithm>
@@ -109,6 +111,19 @@ replaySource(const trace::MemoryTrace &trace, bool dropLockTests)
     return std::make_unique<ReplaySource>(trace);
 }
 
+/** Decode parameters matching this run's options: the lock-test
+ *  filter folds into the decode, so the prepared stream replays with
+ *  no per-record filtering at all. */
+trace::PrepareOptions
+prepareOptionsFor(const EvalOptions &opts)
+{
+    trace::PrepareOptions prep;
+    prep.blockBytes = opts.sim.blockBytes;
+    prep.domain = opts.sim.domain;
+    prep.dropLockTests = opts.dropLockTests;
+    return prep;
+}
+
 /**
  * Run a workload×engine matrix and harvest every engine's results.
  *
@@ -138,7 +153,12 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
             sim::Simulator simulator(simConfigFor(cfgs[c], opts));
             for (const EngineFactory &factory : factories)
                 simulator.addEngine(factory(units));
-            runWorkload(cfgs[c], opts, simulator);
+            if (opts.usePreparedTraces) {
+                simulator.run(*sim::TraceRepository::global().get(
+                    cfgs[c], prepareOptionsFor(opts)));
+            } else {
+                runWorkload(cfgs[c], opts, simulator);
+            }
             for (std::size_t e = 0; e < simulator.numEngines(); ++e)
                 results[c].push_back(simulator.engine(e).results());
         }
@@ -146,8 +166,14 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
     }
 
     // Phase 1: materialise each workload once.  The traces are
-    // immutable from here on and shared read-only by every engine job.
-    std::vector<trace::MemoryTrace> traces(cfgs.size());
+    // immutable from here on and shared read-only by every engine
+    // job.  On the prepared path the repository supplies decode-once
+    // SoA traces (already cached across runs); the raw path
+    // materialises throwaway MemoryTraces as before.
+    std::vector<std::shared_ptr<const trace::PreparedTrace>> prepared(
+        cfgs.size());
+    std::vector<trace::MemoryTrace> traces(
+        opts.usePreparedTraces ? 0 : cfgs.size());
     {
         std::mutex collect;
         std::exception_ptr firstError;
@@ -156,10 +182,17 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             pool.submit([&, c] {
                 try {
-                    trace::MemoryTrace trace =
-                        gen::generateTrace(cfgs[c]);
-                    std::lock_guard<std::mutex> lock(collect);
-                    traces[c] = std::move(trace);
+                    if (opts.usePreparedTraces) {
+                        auto ptr = sim::TraceRepository::global().get(
+                            cfgs[c], prepareOptionsFor(opts));
+                        std::lock_guard<std::mutex> lock(collect);
+                        prepared[c] = std::move(ptr);
+                    } else {
+                        trace::MemoryTrace trace =
+                            gen::generateTrace(cfgs[c]);
+                        std::lock_guard<std::mutex> lock(collect);
+                        traces[c] = std::move(trace);
+                    }
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(collect);
                     if (!firstError)
@@ -187,10 +220,14 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
                 engines.push_back(factory(units));
                 return engines;
             };
-            point.source = [trace = &traces[c],
-                            drop = opts.dropLockTests] {
-                return replaySource(*trace, drop);
-            };
+            if (opts.usePreparedTraces) {
+                point.prepared = prepared[c];
+            } else {
+                point.source = [trace = &traces[c],
+                                drop = opts.dropLockTests] {
+                    return replaySource(*trace, drop);
+                };
+            }
             runner.add(std::move(point));
         }
     }

@@ -88,6 +88,14 @@ struct EvalOptions
      * it).
      */
     unsigned jobs = defaultEvalJobs();
+    /**
+     * Replay decode-once prepared traces from the process-wide
+     * sim::TraceRepository instead of re-generating and re-decoding
+     * each workload per run.  Results are bit-identical either way
+     * (the golden suite enforces it); the flag exists so benches can
+     * A/B the raw path.
+     */
+    bool usePreparedTraces = true;
 };
 
 /** Run the three standard engines over each workload. */

@@ -65,6 +65,16 @@ BerkeleyEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 }
 
 void
+BerkeleyEngine::accessPrepared(const PreparedSlice &slice)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < slice.n; ++i)
+        access(slice.unit[i],
+               trace::packedRefType(slice.typeFlags[i]),
+               slice.block[i]);
+}
+
+void
 BerkeleyEngine::recordInstrs(std::uint64_t n)
 {
     _results.events.record(Event::Instr, n);

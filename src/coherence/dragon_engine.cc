@@ -47,6 +47,16 @@ DragonEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 }
 
 void
+DragonEngine::accessPrepared(const PreparedSlice &slice)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < slice.n; ++i)
+        access(slice.unit[i],
+               trace::packedRefType(slice.typeFlags[i]),
+               slice.block[i]);
+}
+
+void
 DragonEngine::recordInstrs(std::uint64_t n)
 {
     _results.events.record(Event::Instr, n);

@@ -29,6 +29,24 @@ struct BlockAccess
     mem::BlockId block;
 };
 
+static_assert(std::is_trivially_copyable_v<BlockAccess>,
+              "BlockAccess must be memcpy-safe for batched replay");
+
+/**
+ * A view over prepared-trace SoA columns (see trace/prepared.hh):
+ * @p n data references as parallel arrays of 32-bit block index,
+ * 8-bit dense unit index, and packed type+flags byte (decode with
+ * trace::packedRefType / trace::packedFlags).  Instruction fetches
+ * never appear in a slice — they are reported via recordInstrs().
+ */
+struct PreparedSlice
+{
+    const std::uint32_t *block;
+    const std::uint8_t *unit;
+    const std::uint8_t *typeFlags;
+    std::size_t n;
+};
+
 /** Abstract trace-driven coherence state engine. */
 class CoherenceEngine
 {
@@ -59,6 +77,21 @@ class CoherenceEngine
     {
         for (std::size_t i = 0; i < n; ++i)
             access(accs[i].unit, accs[i].type, accs[i].block);
+    }
+
+    /**
+     * Process a prepared SoA slice in order.  Semantically exactly
+     * slice.n access() calls with the unpacked columns; concrete
+     * engines override it with an internal loop, exactly like
+     * accessBatch(), so the whole scan devirtualises.
+     */
+    virtual void
+    accessPrepared(const PreparedSlice &slice)
+    {
+        for (std::size_t i = 0; i < slice.n; ++i)
+            access(slice.unit[i],
+                   trace::packedRefType(slice.typeFlags[i]),
+                   slice.block[i]);
     }
 
     /**

@@ -39,6 +39,7 @@ class LimitedEngine final : public CoherenceEngine
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
     void accessBatch(const BlockAccess *accs, std::size_t n) override;
+    void accessPrepared(const PreparedSlice &slice) override;
     void recordInstrs(std::uint64_t n) override;
     const EngineResults &results() const override { return _results; }
     unsigned numUnits() const override { return _nUnits; }

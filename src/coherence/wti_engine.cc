@@ -59,6 +59,16 @@ WtiEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 }
 
 void
+WtiEngine::accessPrepared(const PreparedSlice &slice)
+{
+    // The class is final, so these calls devirtualise and inline.
+    for (std::size_t i = 0; i < slice.n; ++i)
+        access(slice.unit[i],
+               trace::packedRefType(slice.typeFlags[i]),
+               slice.block[i]);
+}
+
+void
 WtiEngine::recordInstrs(std::uint64_t n)
 {
     _results.events.record(Event::Instr, n);

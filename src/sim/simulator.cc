@@ -90,4 +90,49 @@ Simulator::run(trace::RefSource &source)
     return processed;
 }
 
+std::uint64_t
+Simulator::run(const trace::PreparedTrace &prepared)
+{
+    const trace::PrepareOptions &opts = prepared.options();
+    if (opts.blockBytes != _cfg.blockBytes ||
+        opts.domain != _cfg.domain)
+        throw std::invalid_argument(
+            "Simulator: prepared trace '" + prepared.name() +
+            "' was decoded for a different block size or sharing "
+            "domain than this simulator");
+
+    // Unlike the streaming path, the unit count is known up front, so
+    // the capacity check happens before any engine sees anything — a
+    // failed run mutates nothing.
+    unsigned capacity = std::numeric_limits<unsigned>::max();
+    const coherence::CoherenceEngine *smallest = nullptr;
+    for (const auto &engine : _engines) {
+        if (engine->numUnits() < capacity) {
+            capacity = engine->numUnits();
+            smallest = engine.get();
+        }
+    }
+    if (prepared.numUnits() > capacity)
+        throw std::runtime_error(
+            "Simulator: trace uses more sharing units than engine '" +
+            smallest->results().name + "' supports");
+
+    if (_cfg.expectedBlocks != 0) {
+        for (auto &engine : _engines)
+            engine->reserveBlocks(_cfg.expectedBlocks);
+    }
+    if (prepared.numUnits() > _preparedUnits)
+        _preparedUnits = prepared.numUnits();
+
+    const coherence::PreparedSlice slice{
+        prepared.blockData(), prepared.unitData(),
+        prepared.typeFlagsData(), prepared.dataRefs()};
+    for (auto &engine : _engines) {
+        if (prepared.instrRefs() != 0)
+            engine->recordInstrs(prepared.instrRefs());
+        engine->accessPrepared(slice);
+    }
+    return prepared.totalRefs();
+}
+
 } // namespace dirsim::sim

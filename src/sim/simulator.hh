@@ -23,6 +23,7 @@
 
 #include "coherence/engine.hh"
 #include "sim/unit_map.hh"
+#include "trace/prepared.hh"
 #include "trace/ref_source.hh"
 
 namespace dirsim::sim
@@ -74,6 +75,23 @@ class Simulator
      */
     std::uint64_t run(trace::RefSource &source);
 
+    /**
+     * Replay an already-decoded trace through every engine: one bulk
+     * instruction count plus one dense SoA scan per engine, with no
+     * per-record decode at all.  Bit-identical to streaming the raw
+     * trace through run(RefSource&) — the prepared decode froze the
+     * same unit numbering and block mapping this driver would compute.
+     *
+     * @return Number of references processed (instr + data).
+     * @throws std::invalid_argument if @p prepared was decoded for a
+     *         different block size or sharing domain than this
+     *         simulator's config.
+     * @throws std::runtime_error if the trace contains more sharing
+     *         units than an engine supports; thrown before any engine
+     *         sees a reference, so a failed run mutates nothing.
+     */
+    std::uint64_t run(const trace::PreparedTrace &prepared);
+
     const SimConfig &config() const { return _cfg; }
     std::size_t numEngines() const { return _engines.size(); }
     coherence::CoherenceEngine &engine(std::size_t i)
@@ -86,12 +104,19 @@ class Simulator
     }
 
     /** Distinct sharing units seen so far. */
-    unsigned unitsSeen() const { return _unitMap.size(); }
+    unsigned
+    unitsSeen() const
+    {
+        return _unitMap.size() > _preparedUnits ? _unitMap.size()
+                                                : _preparedUnits;
+    }
 
   private:
     SimConfig _cfg;
     std::vector<std::unique_ptr<coherence::CoherenceEngine>> _engines;
     UnitMapper _unitMap;
+    /** Units covered by prepared replays (they bypass _unitMap). */
+    unsigned _preparedUnits = 0;
 };
 
 } // namespace dirsim::sim

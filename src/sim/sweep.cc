@@ -17,9 +17,10 @@ SweepRunner::SweepRunner(unsigned jobs)
 std::size_t
 SweepRunner::add(SweepPoint point)
 {
-    if (!point.engines || !point.source)
+    if (!point.engines || (!point.source && !point.prepared))
         throw std::invalid_argument(
-            "SweepRunner: point needs engine and source factories");
+            "SweepRunner: point needs an engine factory and a source "
+            "factory or prepared trace");
     _points.push_back(std::move(point));
     return _points.size() - 1;
 }
@@ -39,8 +40,12 @@ SweepRunner::run()
             Simulator simulator(point.sim);
             for (auto &engine : point.engines())
                 simulator.addEngine(std::move(engine));
-            const auto source = point.source();
-            res.refs = simulator.run(*source);
+            if (point.prepared) {
+                res.refs = simulator.run(*point.prepared);
+            } else {
+                const auto source = point.source();
+                res.refs = simulator.run(*source);
+            }
             res.engines.reserve(simulator.numEngines());
             for (std::size_t e = 0; e < simulator.numEngines(); ++e)
                 res.engines.push_back(simulator.engine(e).results());

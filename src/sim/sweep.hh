@@ -105,9 +105,18 @@ struct SweepPoint
      * To share one trace across points, capture a `const MemoryTrace*`
      * and return a MemoryTraceSource over it — replay never mutates
      * the trace.  To regenerate instead, capture a WorkloadConfig and
-     * return a WorkloadSource (deterministic from its seed).
+     * return a WorkloadSource (deterministic from its seed).  Leave
+     * unset when @ref prepared supplies the stream.
      */
     std::function<std::unique_ptr<trace::RefSource>()> source;
+
+    /**
+     * Already-decoded stream to replay instead of @ref source —
+     * bit-identical results, no per-record decode (typically from
+     * sim::TraceRepository, shared across every point of a sweep).
+     * When both are set, the prepared trace wins.
+     */
+    std::shared_ptr<const trace::PreparedTrace> prepared;
 };
 
 /** Outcome of one SweepPoint. */

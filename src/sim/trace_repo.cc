@@ -1,0 +1,246 @@
+#include "sim/trace_repo.hh"
+
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace dirsim::sim
+{
+
+namespace
+{
+
+/** Positional serialiser for cacheKey(): fixed-width fields, no
+ *  separators needed except around the variable-length name. */
+class KeyWriter
+{
+  public:
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        _key += s;
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(v));
+        _key += buf;
+    }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    std::string take() { return std::move(_key); }
+
+  private:
+    std::string _key;
+};
+
+} // namespace
+
+// Tripwire: cacheKey() serialises every field positionally.  If one
+// of these structs grows a field, the key must learn it — otherwise
+// two differing configs could silently share a cache entry.  Update
+// cacheKey() first, then these sizes.
+static_assert(sizeof(gen::AddressSpaceConfig) == 80,
+              "AddressSpaceConfig changed: update cacheKey()");
+static_assert(sizeof(gen::BehaviorConfig) == 160,
+              "BehaviorConfig changed: update cacheKey()");
+static_assert(sizeof(trace::PrepareOptions) == 12,
+              "PrepareOptions changed: update cacheKey()");
+
+std::string
+TraceRepository::cacheKey(const gen::WorkloadConfig &cfg,
+                          const trace::PrepareOptions &opts)
+{
+    KeyWriter key;
+    key.str(cfg.name);
+    key.u64(cfg.totalRefs);
+    key.u64(cfg.seed);
+    key.u64(cfg.quantumRefs);
+    key.f64(cfg.migrationRate);
+
+    const gen::AddressSpaceConfig &sp = cfg.space;
+    key.u64(sp.nProcesses);
+    key.u64(sp.nCpus);
+    key.u64(sp.blockBytes);
+    key.u64(sp.wordBytes);
+    key.u64(sp.codeBlocksPerProc);
+    key.u64(sp.privateBlocksPerProc);
+    key.u64(sp.privateHotBlocks);
+    key.f64(sp.privateHotFrac);
+    key.u64(sp.sharedReadBlocks);
+    key.u64(sp.sharedWriteBlocks);
+    key.u64(sp.migratoryObjects);
+    key.u64(sp.blocksPerMigratoryObject);
+    key.u64(sp.nLocks);
+    key.u64(sp.protectedBlocksPerLock);
+    key.u64(sp.osCodeBlocks);
+    key.u64(sp.osSharedBlocks);
+    key.u64(sp.osPerCpuBlocks);
+    key.u64(sp.falseSharingLocks);
+
+    const gen::BehaviorConfig &bh = cfg.behavior;
+    key.f64(bh.pInstr);
+    key.f64(bh.pSystem);
+    key.f64(bh.wPrivate);
+    key.f64(bh.wSharedRead);
+    key.f64(bh.wSharedWrite);
+    key.f64(bh.wMigratory);
+    key.f64(bh.wLockAttempt);
+    key.f64(bh.pPrivateRead);
+    key.f64(bh.pSharedReadWrite);
+    key.f64(bh.pSharedSlotWrite);
+    key.u64(bh.migratoryWriteBurst);
+    key.f64(bh.pSpinInstr);
+    key.u64(bh.critMin);
+    key.u64(bh.critMax);
+    key.f64(bh.pCritProtected);
+    key.f64(bh.pCritWrite);
+    key.f64(bh.hotLockFrac);
+    key.u64(bh.nHotLocks);
+    key.f64(bh.pOsInstr);
+    key.f64(bh.pOsShared);
+    key.f64(bh.pOsWrite);
+
+    key.u64(opts.blockBytes);
+    key.u64(static_cast<std::uint64_t>(opts.domain));
+    key.u64(opts.dropLockTests);
+    key.u64(opts.timedStreams);
+    return key.take();
+}
+
+TraceRepository::TraceRepository(unsigned jobs, std::size_t maxBytes)
+    : _jobs(ThreadPool::resolveThreads(jobs)), _maxBytes(maxBytes)
+{
+}
+
+TraceRepository::Ptr
+TraceRepository::build(const gen::WorkloadConfig &cfg,
+                       const trace::PrepareOptions &opts) const
+{
+    // Generation is serial by design: the reference interleaving is a
+    // pure function of one RNG stream and the shared lock state.
+    const trace::MemoryTrace raw = gen::generateTrace(cfg);
+
+    // The decode parallelises: the builder's planning scan froze all
+    // write offsets, so chunks land in disjoint ranges whatever order
+    // the workers run them in.
+    trace::PreparedTraceBuilder builder(raw, opts);
+    const std::size_t chunks = builder.numChunks();
+    if (_jobs > 1 && chunks > 1) {
+        ThreadPool pool(_jobs);
+        for (std::size_t c = 0; c < chunks; ++c)
+            pool.submit([&builder, c] { builder.decodeChunk(c); });
+        pool.wait();
+    } else {
+        for (std::size_t c = 0; c < chunks; ++c)
+            builder.decodeChunk(c);
+    }
+    return std::make_shared<const trace::PreparedTrace>(
+        builder.finish());
+}
+
+std::shared_ptr<const trace::PreparedTrace>
+TraceRepository::get(const gen::WorkloadConfig &cfg,
+                     const trace::PrepareOptions &opts)
+{
+    const std::string key = cacheKey(cfg, opts);
+
+    std::shared_future<Ptr> future;
+    std::shared_ptr<std::promise<Ptr>> toBuild;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _entries.find(key);
+        if (it == _entries.end()) {
+            Entry entry;
+            entry.promise = std::make_shared<std::promise<Ptr>>();
+            entry.future = entry.promise->get_future().share();
+            toBuild = entry.promise;
+            it = _entries.emplace(key, std::move(entry)).first;
+        }
+        it->second.lastUse = ++_tick;
+        future = it->second.future;
+    }
+
+    if (toBuild) {
+        _buildCount.fetch_add(1, std::memory_order_relaxed);
+        try {
+            Ptr ptr = build(cfg, opts);
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                auto it = _entries.find(key);
+                if (it != _entries.end()) {
+                    it->second.bytes = ptr->byteSize();
+                    it->second.ready = true;
+                }
+            }
+            toBuild->set_value(std::move(ptr));
+            std::lock_guard<std::mutex> lock(_mutex);
+            evictLocked();
+        } catch (...) {
+            // Failures propagate to every waiter but are not cached:
+            // a later get() may retry.
+            toBuild->set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(_mutex);
+            _entries.erase(key);
+        }
+    }
+    return future.get();
+}
+
+void
+TraceRepository::evictLocked()
+{
+    std::size_t readyBytes = 0;
+    std::size_t readyCount = 0;
+    for (const auto &[key, entry] : _entries) {
+        if (entry.ready) {
+            readyBytes += entry.bytes;
+            ++readyCount;
+        }
+    }
+    // Keep at least the most recently used entry even when a single
+    // trace exceeds the budget — evicting it would just rebuild it.
+    while (readyBytes > _maxBytes && readyCount > 1) {
+        auto victim = _entries.end();
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (!it->second.ready)
+                continue;
+            if (victim == _entries.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        readyBytes -= victim->second.bytes;
+        --readyCount;
+        _entries.erase(victim);
+    }
+}
+
+void
+TraceRepository::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+}
+
+std::size_t
+TraceRepository::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+TraceRepository &
+TraceRepository::global()
+{
+    static TraceRepository repo;
+    return repo;
+}
+
+} // namespace dirsim::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Memoizing repository of prepared traces.
+ *
+ * Every sweep point over the same workload replays the same reference
+ * stream (Section 4.1 of the paper: one trace feeds every protocol),
+ * so the expensive part — synthesizing the workload and decoding it
+ * into the SoA prepared format — should happen once per workload, not
+ * once per sweep point.  The repository keys a cache on the complete
+ * (WorkloadConfig, PrepareOptions) value: a 100-point fig2/fig3 sweep
+ * then generates and decodes 3 workloads instead of 100.
+ *
+ * Thread safety: concurrent get() calls for the same key build the
+ * trace exactly once — the first caller builds, the rest block on a
+ * shared future.  Distinct keys build independently.  The returned
+ * PreparedTrace is immutable and shared; it stays alive as long as
+ * any caller holds the pointer, even if the repository evicts it.
+ *
+ * Generation itself is inherently serial (one RNG stream and shared
+ * lock state define the interleaving), but the decode parallelises:
+ * the builder's planning scan freezes all write offsets, after which
+ * chunk decoding fans out across a thread pool with a merge that is
+ * deterministic by construction.
+ */
+
+#ifndef DIRSIM_SIM_TRACE_REPO_HH
+#define DIRSIM_SIM_TRACE_REPO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gen/workload.hh"
+#include "trace/prepared.hh"
+
+namespace dirsim::sim
+{
+
+/** Thread-safe build-once cache of prepared workload traces. */
+class TraceRepository
+{
+  public:
+    /**
+     * @param jobs Decode worker threads per build; 0 = one per
+     *        hardware thread.
+     * @param maxBytes Soft budget for cached column bytes; least-
+     *        recently-used entries are dropped past it (handed-out
+     *        pointers keep their data alive regardless).
+     */
+    explicit TraceRepository(unsigned jobs = 0,
+                             std::size_t maxBytes =
+                                 512ull * 1024 * 1024);
+
+    /**
+     * The prepared trace for @p cfg decoded with @p opts, built on
+     * first request and shared thereafter.  Build failures propagate
+     * to every concurrent waiter and are not cached.
+     */
+    std::shared_ptr<const trace::PreparedTrace>
+    get(const gen::WorkloadConfig &cfg,
+        const trace::PrepareOptions &opts = {});
+
+    /** Build attempts: times a get() missed the cache and actually
+     *  generated + decoded, failed tries included (test hook). */
+    std::uint64_t buildCount() const
+    {
+        return _buildCount.load(std::memory_order_relaxed);
+    }
+
+    /** Drop every cached entry (outstanding pointers stay valid). */
+    void clear();
+
+    /** Entries currently cached. */
+    std::size_t size() const;
+
+    /** The process-wide repository the sweep drivers share. */
+    static TraceRepository &global();
+
+    /**
+     * Canonical cache key: every field of the workload and prepare
+     * configurations, serialised positionally (doubles bit-cast).
+     * Exposed for tests asserting key completeness.
+     */
+    static std::string cacheKey(const gen::WorkloadConfig &cfg,
+                                const trace::PrepareOptions &opts);
+
+  private:
+    using Ptr = std::shared_ptr<const trace::PreparedTrace>;
+
+    struct Entry
+    {
+        std::shared_ptr<std::promise<Ptr>> promise;
+        std::shared_future<Ptr> future;
+        std::uint64_t lastUse = 0;
+        std::size_t bytes = 0;
+        bool ready = false;
+    };
+
+    Ptr build(const gen::WorkloadConfig &cfg,
+              const trace::PrepareOptions &opts) const;
+    /** Drop LRU ready entries past the byte budget (mutex held). */
+    void evictLocked();
+
+    unsigned _jobs;
+    std::size_t _maxBytes;
+    mutable std::mutex _mutex;
+    std::map<std::string, Entry> _entries;
+    std::uint64_t _tick = 0;
+    std::atomic<std::uint64_t> _buildCount{0};
+};
+
+} // namespace dirsim::sim
+
+#endif // DIRSIM_SIM_TRACE_REPO_HH

@@ -5,12 +5,15 @@
 namespace dirsim::timing
 {
 
-const PortRef &
+PortRef
 RequestPort::takeRef()
 {
     assert(hasMoreRefs());
     ++_stats.refs;
-    return _refs[_next++];
+    const std::size_t i = _next++;
+    return PortRef{_stream->unit[i],
+                   trace::packedRefType(_stream->typeFlags[i]),
+                   _stream->block[i]};
 }
 
 void

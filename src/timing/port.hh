@@ -25,6 +25,7 @@
 
 #include "mem/block.hh"
 #include "timing/transactions.hh"
+#include "trace/prepared.hh"
 #include "trace/record.hh"
 
 namespace dirsim::timing
@@ -61,26 +62,31 @@ struct PortRef
     mem::BlockId block;
 };
 
-/** One CPU's interface to the timed bus (see file header). */
+/**
+ * One CPU's interface to the timed bus (see file header).
+ *
+ * The port *views* its stream as prepared SoA columns
+ * (trace::PreparedCpuStream) rather than owning an array-of-structs
+ * copy: the timed replay either borrows a slice of a shared
+ * PreparedTrace directly, or TimedBusSim demuxes a raw source into
+ * locally-owned columns of the same shape.  Either way the stream
+ * must outlive the port.
+ */
 class RequestPort
 {
   public:
-    explicit RequestPort(unsigned cpu) : _cpu(cpu) {}
+    RequestPort(unsigned cpu, const trace::PreparedCpuStream *stream)
+        : _cpu(cpu), _stream(stream)
+    {
+    }
 
     unsigned cpu() const { return _cpu; }
 
-    /** Append one demuxed reference to this CPU's stream. */
-    void
-    appendRef(const PortRef &ref)
-    {
-        _refs.push_back(ref);
-    }
-
     /** References remain to execute. */
-    bool hasMoreRefs() const { return _next < _refs.size(); }
+    bool hasMoreRefs() const { return _next < _stream->size(); }
 
     /** Consume the next reference (hasMoreRefs() must hold). */
-    const PortRef &takeRef();
+    PortRef takeRef();
 
     /**
      * Begin a stall: the reference consumed at cycle @p now produced
@@ -109,7 +115,7 @@ class RequestPort
 
   private:
     unsigned _cpu;
-    std::vector<PortRef> _refs;
+    const trace::PreparedCpuStream *_stream;
     std::size_t _next = 0;
 
     RefCharge _charge;

@@ -13,14 +13,20 @@ runTimedSweep(const std::vector<TimedSweepPoint> &points, unsigned jobs)
     std::vector<std::function<TimedRun()>> tasks;
     tasks.reserve(points.size());
     for (const TimedSweepPoint &point : points) {
-        if (!point.engine || !point.source)
+        if (!point.engine || (!point.source && !point.prepared))
             throw std::invalid_argument(
                 "runTimedSweep: point '" + point.name +
-                "' needs engine and source factories");
+                "' needs an engine factory and a source factory or "
+                "prepared trace");
         tasks.push_back([&point] {
             TimedBusSim sim(point.config, point.engine());
-            const auto source = point.source();
-            TimedRun run = sim.run(*source);
+            TimedRun run;
+            if (point.prepared) {
+                run = sim.run(*point.prepared);
+            } else {
+                const auto source = point.source();
+                run = sim.run(*source);
+            }
             run.name = point.name;
             return run;
         });

@@ -42,9 +42,17 @@ struct TimedSweepPoint
 
     /**
      * Builds the reference stream.  Invoked on the worker thread;
-     * same sharing rules as sim::SweepPoint::source.
+     * same sharing rules as sim::SweepPoint::source.  Leave unset
+     * when @ref prepared supplies the stream.
      */
     std::function<std::unique_ptr<trace::RefSource>()> source;
+
+    /**
+     * Already-decoded stream (with timed per-CPU columns) to replay
+     * instead of @ref source — bit-identical results, no demux.
+     * When both are set, the prepared trace wins.
+     */
+    std::shared_ptr<const trace::PreparedTrace> prepared;
 };
 
 /**

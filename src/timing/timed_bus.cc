@@ -81,18 +81,16 @@ TimedBusSim::~TimedBusSim() = default;
 TimedRun
 TimedBusSim::run(trace::RefSource &source)
 {
-    // Validates the cost options before anything runs.
-    TransactionModel model(_cfg.scheme, _cfg.bus.costs, _cfg.costOpts);
+    // A demux failure must not leave a previous run's results behind.
     _engine->reset();
-    if (_cfg.sim.expectedBlocks != 0)
-        _engine->reserveBlocks(_cfg.sim.expectedBlocks);
 
-    // Demux the stream into per-CPU ports, mapping sharing units with
-    // the same UnitMapper sim::Simulator uses (so timed and untimed
-    // runs agree on unit numbering).  Port demux always keys by CPU,
-    // whatever the sharing domain.  Unit capacity is checked here,
-    // before the engine sees any reference.
-    std::vector<RequestPort> ports;
+    // Demux the stream into per-CPU SoA columns — the same shape a
+    // prepared trace's timed streams carry — mapping sharing units
+    // with the same UnitMapper sim::Simulator uses (so timed and
+    // untimed runs agree on unit numbering).  Port demux always keys
+    // by CPU, whatever the sharing domain.  Unit capacity is checked
+    // here, before the engine sees any reference.
+    std::vector<trace::PreparedCpuStream> streams;
     sim::UnitMapper cpuMap(sim::SharingDomain::Processor);
     sim::UnitMapper unitMap(_cfg.sim.domain);
     const mem::BlockMapper toBlock(_cfg.sim.blockBytes);
@@ -110,13 +108,66 @@ TimedBusSim::run(trace::RefSource &source)
                     "TimedBusSim: trace uses more sharing units than "
                     "engine '" + _engine->results().name +
                     "' supports");
+            const mem::BlockId block = toBlock(rec.addr);
+            if (block > 0xffffffffULL)
+                throw std::runtime_error(
+                    "TimedBusSim: block index exceeds the 32-bit "
+                    "port-stream column");
             const unsigned cpu = cpuMap.map(rec);
-            if (cpu == ports.size())
-                ports.emplace_back(cpu);
-            ports[cpu].appendRef(
-                PortRef{unit, rec.type, toBlock(rec.addr)});
+            if (cpu == streams.size())
+                streams.emplace_back();
+            trace::PreparedCpuStream &stream = streams[cpu];
+            stream.block.push_back(
+                static_cast<std::uint32_t>(block));
+            stream.unit.push_back(static_cast<std::uint8_t>(unit));
+            stream.typeFlags.push_back(
+                trace::packTypeFlags(rec.type, rec.flags));
         }
     }
+
+    std::vector<RequestPort> ports;
+    ports.reserve(streams.size());
+    for (unsigned cpu = 0; cpu < streams.size(); ++cpu)
+        ports.emplace_back(cpu, &streams[cpu]);
+    return runPorts(ports);
+}
+
+TimedRun
+TimedBusSim::run(const trace::PreparedTrace &prepared)
+{
+    if (!prepared.hasTimedStreams())
+        throw std::invalid_argument(
+            "TimedBusSim: prepared trace '" + prepared.name() +
+            "' was decoded without timed per-CPU streams");
+    const trace::PrepareOptions &opts = prepared.options();
+    if (opts.blockBytes != _cfg.sim.blockBytes ||
+        opts.domain != _cfg.sim.domain)
+        throw std::invalid_argument(
+            "TimedBusSim: prepared trace '" + prepared.name() +
+            "' was decoded for a different block size or sharing "
+            "domain than this run");
+    if (prepared.numUnits() > _engine->numUnits())
+        throw std::runtime_error(
+            "TimedBusSim: trace uses more sharing units than "
+            "engine '" + _engine->results().name + "' supports");
+
+    const std::vector<trace::PreparedCpuStream> &streams =
+        prepared.cpuStreams();
+    std::vector<RequestPort> ports;
+    ports.reserve(streams.size());
+    for (unsigned cpu = 0; cpu < streams.size(); ++cpu)
+        ports.emplace_back(cpu, &streams[cpu]);
+    return runPorts(ports);
+}
+
+TimedRun
+TimedBusSim::runPorts(std::vector<RequestPort> &ports)
+{
+    // Validates the cost options before anything runs.
+    TransactionModel model(_cfg.scheme, _cfg.bus.costs, _cfg.costOpts);
+    _engine->reset();
+    if (_cfg.sim.expectedBlocks != 0)
+        _engine->reserveBlocks(_cfg.sim.expectedBlocks);
 
     const unsigned nCpus = static_cast<unsigned>(ports.size());
     TimedRun result;
@@ -186,7 +237,7 @@ TimedBusSim::run(trace::RefSource &source)
                 port.finish(now);
                 continue;
             }
-            const PortRef &ref = port.takeRef();
+            const PortRef ref = port.takeRef();
             _engine->access(ref.unit, ref.type, ref.block);
             const RefCharge charge = model.charge(_engine->results());
             if (charge.empty()) {

@@ -44,6 +44,7 @@
 #include "stats/histogram.hh"
 #include "timing/arbiter.hh"
 #include "timing/port.hh"
+#include "trace/prepared.hh"
 #include "trace/ref_source.hh"
 
 namespace dirsim::timing
@@ -142,9 +143,22 @@ class TimedBusSim
      */
     TimedRun run(trace::RefSource &source);
 
+    /**
+     * Replay an already-decoded trace (decoded with
+     * PrepareOptions::timedStreams, same block size and sharing
+     * domain as cfg.sim — std::invalid_argument otherwise).  The
+     * per-CPU SoA streams feed the ports directly, skipping the
+     * demux; results are bit-identical to run(RefSource&) over the
+     * same stream.
+     */
+    TimedRun run(const trace::PreparedTrace &prepared);
+
     const TimedBusConfig &config() const { return _cfg; }
 
   private:
+    /** The discrete-event loop shared by both entry points. */
+    TimedRun runPorts(std::vector<RequestPort> &ports);
+
     TimedBusConfig _cfg;
     std::unique_ptr<coherence::CoherenceEngine> _engine;
 };

@@ -227,6 +227,23 @@ readText(std::istream &is)
             checkField(flags, 0xff, "flags", line));
         trace.append(rec);
     }
+    // Header counts, when declared, bound the ids the records may
+    // use; a record outside them would index past the caches and
+    // processes a consumer sized from the header.  Checked after the
+    // parse so "# ncpus"/"# nprocesses" lines may appear anywhere.
+    const TraceMeta &meta = trace.meta();
+    for (const TraceRecord &rec : trace.records()) {
+        if (meta.nCpus != 0 && rec.cpu >= meta.nCpus)
+            throw std::runtime_error(
+                "trace: record cpu " + std::to_string(rec.cpu) +
+                " outside declared ncpus " +
+                std::to_string(meta.nCpus));
+        if (meta.nProcesses != 0 && rec.pid >= meta.nProcesses)
+            throw std::runtime_error(
+                "trace: record pid " + std::to_string(rec.pid) +
+                " outside declared nprocesses " +
+                std::to_string(meta.nProcesses));
+    }
     return trace;
 }
 

@@ -16,6 +16,7 @@
 #define DIRSIM_TRACE_RECORD_HH
 
 #include <cstdint>
+#include <type_traits>
 
 namespace dirsim::trace
 {
@@ -65,6 +66,58 @@ struct TraceRecord
                flags == other.flags;
     }
 };
+
+// The binary trace format and the batched replay path both treat
+// records as flat bytes; a size or triviality change would silently
+// alter the on-disk layout and the memcpy-based batch copies.
+static_assert(sizeof(TraceRecord) == 16,
+              "TraceRecord layout is load-bearing (trace/io.cc)");
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "TraceRecord must be memcpy-safe for batched replay");
+
+/**
+ * @name Packed type+flags byte of the prepared (SoA) trace format.
+ *
+ * One byte per reference: the RefType in the low two bits, the
+ * RecordFlags shifted above them.  The three defined flags fit with
+ * three bits to spare; the static_asserts below pin that layout so a
+ * new flag cannot silently collide with the type field.
+ * @{
+ */
+constexpr std::uint8_t packedTypeBits = 2;
+constexpr std::uint8_t packedTypeMask = (1u << packedTypeBits) - 1;
+
+constexpr std::uint8_t
+packTypeFlags(RefType type, std::uint8_t flags)
+{
+    return static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(type) |
+        static_cast<std::uint8_t>(flags << packedTypeBits));
+}
+
+constexpr RefType
+packedRefType(std::uint8_t packed)
+{
+    return static_cast<RefType>(packed & packedTypeMask);
+}
+
+constexpr std::uint8_t
+packedFlags(std::uint8_t packed)
+{
+    return static_cast<std::uint8_t>(packed >> packedTypeBits);
+}
+
+static_assert(static_cast<unsigned>(RefType::Write) <= packedTypeMask,
+              "RefType must fit the packed type field");
+static_assert((FlagSystem | FlagLockTest | FlagLockWrite) <=
+                  (0xff >> packedTypeBits),
+              "RecordFlags must fit above the packed type field");
+static_assert(packedRefType(packTypeFlags(RefType::Write,
+                                          FlagLockWrite)) ==
+              RefType::Write);
+static_assert(packedFlags(packTypeFlags(RefType::Read, FlagLockTest)) ==
+              FlagLockTest);
+/** @} */
 
 } // namespace dirsim::trace
 

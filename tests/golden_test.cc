@@ -40,6 +40,8 @@
 #include "gen/workloads.hh"
 #include "mem/set_assoc.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_repo.hh"
+#include "trace/prepared.hh"
 
 namespace
 {
@@ -241,6 +243,23 @@ const std::uint64_t kGolden[3][kNumSchemes] = {
     {0x8490315cc2c28de0ULL, 0x3a6576db60fb5c83ULL, 0x240d242b0726cc6fULL, 0x4ae94e4ec043eb4ULL, 0xf4560a28d0566508ULL, 0x4dba17cd7107b8f3ULL, 0x9dff3aa5bc5681e2ULL, 0x6ed35fdbc3d80342ULL, 0x5b2f697773492301ULL, 0x8ae18d9750f8ba02ULL, 0xb15d31fd9f5e7330ULL, 0x81004f7e170f8819ULL, 0x70b87af67e234bd9ULL, 0x3dc95d507ab7bd8dULL},
 };
 
+/** Same digests, but replaying the decode-once prepared stream. */
+std::vector<std::uint64_t>
+runWorkloadPrepared(const gen::WorkloadConfig &cfg)
+{
+    const std::shared_ptr<const trace::PreparedTrace> prepared =
+        sim::TraceRepository::global().get(cfg);
+    sim::Simulator simulator;
+    for (const Scheme &scheme : kSchemes)
+        simulator.addEngine(scheme.make(cfg.space.nProcesses));
+    simulator.run(*prepared);
+
+    std::vector<std::uint64_t> digests;
+    for (std::size_t e = 0; e < simulator.numEngines(); ++e)
+        digests.push_back(digest(simulator.engine(e).results()));
+    return digests;
+}
+
 TEST(GoldenEquivalence, EngineResultsUnchangedForEverySchemeWorkload)
 {
     const std::vector<gen::WorkloadConfig> workloads =
@@ -265,6 +284,31 @@ TEST(GoldenEquivalence, EngineResultsUnchangedForEverySchemeWorkload)
                 << "scheme '" << kSchemes[s].label << "' on workload '"
                 << workloads[w].name
                 << "' diverged from the seed implementation";
+        }
+    }
+}
+
+/**
+ * The decode-once prepared path (PR 5) must reproduce the seed
+ * digests bit-for-bit: same 14 schemes × 3 workloads, replayed from
+ * the SoA columns of the process-wide trace repository instead of the
+ * interleaved raw records.
+ */
+TEST(GoldenEquivalence, PreparedReplayMatchesGoldenDigests)
+{
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::vector<std::uint64_t> digests =
+            runWorkloadPrepared(workloads[w]);
+        ASSERT_EQ(digests.size(), kNumSchemes);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            EXPECT_EQ(digests[s], kGolden[w][s])
+                << "scheme '" << kSchemes[s].label << "' on workload '"
+                << workloads[w].name
+                << "' diverged when replayed from the prepared trace";
         }
     }
 }

@@ -106,6 +106,58 @@ TEST(ThreadPoolTest, WaitIsReusable)
     EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(RunOrderedTest, ZeroTasksReturnEmpty)
+{
+    const std::vector<std::function<int()>> tasks;
+    EXPECT_TRUE(sim::runOrdered<int>(4, tasks).empty());
+}
+
+/** More workers than tasks: results still land in submission order. */
+TEST(RunOrderedTest, MoreJobsThanTasks)
+{
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 3; ++i)
+        tasks.push_back([i] { return i * 10; });
+    const std::vector<int> results = sim::runOrdered<int>(8, tasks);
+    ASSERT_EQ(results.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 10);
+}
+
+/**
+ * When several tasks throw, the earliest-submitted failure is the one
+ * rethrown — not whichever completed first — and only after every
+ * task has run.
+ */
+TEST(RunOrderedTest, RethrowsEarliestSubmittedFailure)
+{
+    std::atomic<int> ran{0};
+    std::vector<std::function<int()>> tasks;
+    tasks.push_back([&ran] {
+        ++ran;
+        return 0;
+    });
+    tasks.push_back([&ran]() -> int {
+        ++ran;
+        throw std::runtime_error("first failure");
+    });
+    tasks.push_back([&ran]() -> int {
+        ++ran;
+        throw std::logic_error("second failure");
+    });
+    tasks.push_back([&ran] {
+        ++ran;
+        return 3;
+    });
+    try {
+        sim::runOrdered<int>(2, tasks);
+        FAIL() << "expected the earliest failure to be rethrown";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "first failure");
+    }
+    EXPECT_EQ(ran.load(), 4);
+}
+
 /**
  * Parallel sweep (15 points across 8 workers) versus the serial
  * Simulator path, for every protocol engine.  Each workload is
@@ -378,6 +430,27 @@ TEST(TraceIoTest, ReadTextRejectsOutOfRangeFields)
     EXPECT_EQ(trace[0].pid, 65535u);
     EXPECT_EQ(trace[0].flags, 3u);
     EXPECT_TRUE(trace[0].isWrite());
+}
+
+/** Records must stay inside the header's declared cpu/pid counts. */
+TEST(TraceIoTest, ReadTextRejectsRecordsOutsideDeclaredCounts)
+{
+    const auto parse = [](const std::string &text) {
+        std::istringstream is(text);
+        return trace::readText(is);
+    };
+
+    EXPECT_THROW(parse("# ncpus 2\n2 0 R 0x10 0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse("# nprocesses 4\n0 4 R 0x10 0\n"),
+                 std::runtime_error);
+    // Header lines bound the ids wherever they appear in the file.
+    EXPECT_THROW(parse("3 0 R 0x10 0\n# ncpus 2\n"),
+                 std::runtime_error);
+
+    // In-range records parse; undeclared counts stay unchecked.
+    EXPECT_EQ(parse("# ncpus 2\n1 7 R 0x10 0\n").size(), 1u);
+    EXPECT_EQ(parse("200 0 R 0x10 0\n").size(), 1u);
 }
 
 /** Batched replay must deliver the identical record stream. */

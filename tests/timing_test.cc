@@ -32,6 +32,7 @@
 #include "timing/sweep.hh"
 #include "timing/timed_bus.hh"
 #include "timing/transactions.hh"
+#include "trace/prepared.hh"
 
 namespace
 {
@@ -485,6 +486,88 @@ TEST(TimedSweepTest, RejectsPointWithoutFactories)
     std::vector<timing::TimedSweepPoint> points(1);
     EXPECT_THROW(timing::runTimedSweep(points, 1),
                  std::invalid_argument);
+}
+
+// --- Decode-once prepared replay -------------------------------------
+
+/** @p workload prepared with timed per-CPU streams for @p cfg. */
+std::shared_ptr<const trace::PreparedTrace>
+prepareTimed(const gen::WorkloadConfig &workload,
+             const timing::TimedBusConfig &cfg)
+{
+    const trace::MemoryTrace trace = gen::generateTrace(workload);
+    trace::PrepareOptions prep;
+    prep.blockBytes = cfg.sim.blockBytes;
+    prep.domain = cfg.sim.domain;
+    prep.timedStreams = true;
+    return std::make_shared<const trace::PreparedTrace>(
+        trace::PreparedTrace::build(trace, prep));
+}
+
+/**
+ * Replaying the prepared per-CPU streams must reproduce the raw
+ * demux-per-run path field for field: same makespan, same bus cycles,
+ * same per-CPU stats, same engine results.
+ */
+TEST(ContentionTest, PreparedReplayIdenticalToRaw)
+{
+    const auto workload = fourCpuWorkload();
+    for (const sim::Scheme scheme :
+         {sim::Scheme::Dir0B, sim::Scheme::Dragon,
+          sim::Scheme::BerkeleyOwn}) {
+        const auto cfg =
+            timedConfig(scheme, timing::timedPipelinedBus());
+        const timing::TimedRun raw = runTimed(cfg, workload);
+
+        timing::TimedBusSim sim(
+            cfg, engineFor(scheme, workload.space.nProcesses,
+                           cfg.costOpts.nPointers));
+        const timing::TimedRun prepared =
+            sim.run(*prepareTimed(workload, cfg));
+        EXPECT_TRUE(raw.identicalTo(prepared))
+            << sim::schemeName(scheme, cfg.costOpts.nPointers);
+    }
+}
+
+/** Prepared sweep points equal their source-factory twins. */
+TEST(TimedSweepTest, PreparedPointsBitIdenticalToSourcePoints)
+{
+    const auto fromSource = timing::runTimedSweep(sweepPoints(), 1);
+
+    auto points = sweepPoints();
+    const auto prepared =
+        prepareTimed(fourCpuWorkload(), points[0].config);
+    for (auto &point : points) {
+        point.source = nullptr;
+        point.prepared = prepared;
+    }
+    const auto fromPrepared = timing::runTimedSweep(points, 2);
+
+    ASSERT_EQ(fromSource.size(), fromPrepared.size());
+    for (std::size_t i = 0; i < fromSource.size(); ++i)
+        EXPECT_TRUE(fromSource[i].identicalTo(fromPrepared[i]))
+            << fromSource[i].name;
+}
+
+TEST(ContentionTest, PreparedRunRejectsMismatchedDecode)
+{
+    const auto workload = fourCpuWorkload();
+    const auto cfg =
+        timedConfig(sim::Scheme::Dir0B, timing::timedPipelinedBus());
+
+    // Decoded without timed streams: no per-CPU columns to replay.
+    const trace::MemoryTrace trace = gen::generateTrace(workload);
+    const auto untimed = trace::PreparedTrace::build(trace);
+    timing::TimedBusSim sim(
+        cfg, engineFor(sim::Scheme::Dir0B,
+                       workload.space.nProcesses, 2));
+    EXPECT_THROW(sim.run(untimed), std::invalid_argument);
+
+    // Decoded for a different block size than the timed config.
+    auto wrongCfg = cfg;
+    wrongCfg.sim.blockBytes = 64;
+    const auto wrongBlock = prepareTimed(workload, wrongCfg);
+    EXPECT_THROW(sim.run(*wrongBlock), std::invalid_argument);
 }
 
 } // namespace
