@@ -51,6 +51,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -118,14 +119,9 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[a], "--out") == 0) {
             opts.out = want("--out");
         } else if (std::strcmp(argv[a], "--floor") == 0) {
-            char *end = nullptr;
-            const char *text = want("--floor");
-            opts.floor = std::strtod(text, &end);
-            if (end == text || *end != '\0' || opts.floor < 0.0) {
-                std::cerr << "error: --floor expects a non-negative "
-                             "number, got '" << text << "'\n";
-                std::exit(2);
-            }
+            opts.floor = cli::parseDoubleInRange(
+                want("--floor"), "--floor", 0.0,
+                std::numeric_limits<double>::max());
         } else if (std::strcmp(argv[a], "--sweep") == 0) {
             opts.sweep = true;
         } else if (std::strcmp(argv[a], "--no-reserve") == 0) {

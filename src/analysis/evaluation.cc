@@ -242,13 +242,25 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
 }
 
 EngineFactory
-invalFactory(const directory::DirEntryFactory *dirFactory = nullptr)
+invalFactory(const directory::DirEntryFactory *dirFactory = nullptr,
+             const directory::DirCacheConfig &dirCache = {})
 {
-    return [dirFactory](unsigned units) {
+    return [dirFactory, dirCache](unsigned units) {
         coherence::InvalEngineConfig cfg;
         cfg.nUnits = units;
         cfg.dirFactory = dirFactory;
+        cfg.dirCache = dirCache;
         return std::make_unique<coherence::InvalEngine>(cfg);
+    };
+}
+
+EngineFactory
+limitedFactory(unsigned nPointers,
+               const directory::DirCacheConfig &dirCache = {})
+{
+    return [nPointers, dirCache](unsigned units) {
+        return std::make_unique<coherence::LimitedEngine>(
+            units, nPointers, dirCache);
     };
 }
 
@@ -259,10 +271,8 @@ evaluateWorkloads(const std::vector<gen::WorkloadConfig> &cfgs,
                   const EvalOptions &opts)
 {
     const std::vector<EngineFactory> factories = {
-        invalFactory(),
-        [](unsigned units) {
-            return std::make_unique<coherence::LimitedEngine>(units, 1);
-        },
+        invalFactory(nullptr, opts.dirCache),
+        limitedFactory(1, opts.dirCache),
         [](unsigned units) {
             return std::make_unique<coherence::DragonEngine>(units);
         },
@@ -310,11 +320,8 @@ limitedSweep(const std::vector<gen::WorkloadConfig> &cfgs,
              const EvalOptions &opts)
 {
     std::vector<EngineFactory> factories;
-    for (unsigned i : pointerCounts) {
-        factories.push_back([i](unsigned units) {
-            return std::make_unique<coherence::LimitedEngine>(units, i);
-        });
-    }
+    for (unsigned i : pointerCounts)
+        factories.push_back(limitedFactory(i, opts.dirCache));
     const auto matrix = runMatrix(cfgs, opts, factories);
 
     std::vector<coherence::EngineResults> merged(pointerCounts.size());
@@ -332,8 +339,8 @@ invalWithDirectory(const std::vector<gen::WorkloadConfig> &cfgs,
                    const directory::DirEntryFactory &factory,
                    const EvalOptions &opts)
 {
-    const auto matrix =
-        runMatrix(cfgs, opts, {invalFactory(&factory)});
+    const auto matrix = runMatrix(
+        cfgs, opts, {invalFactory(&factory, opts.dirCache)});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
@@ -375,6 +382,39 @@ invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
             };
             return std::make_unique<coherence::InvalEngine>(cfg);
         }});
+
+    coherence::EngineResults merged;
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        merged.name = matrix[c][0].name;
+        merged.merge(matrix[c][0]);
+    }
+    return merged;
+}
+
+coherence::EngineResults
+invalWithDirCache(const std::vector<gen::WorkloadConfig> &cfgs,
+                  const directory::DirCacheConfig &dirCache,
+                  const EvalOptions &opts)
+{
+    const auto matrix =
+        runMatrix(cfgs, opts, {invalFactory(nullptr, dirCache)});
+
+    coherence::EngineResults merged;
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        merged.name = matrix[c][0].name;
+        merged.merge(matrix[c][0]);
+    }
+    return merged;
+}
+
+coherence::EngineResults
+limitedWithDirCache(const std::vector<gen::WorkloadConfig> &cfgs,
+                    unsigned nPointers,
+                    const directory::DirCacheConfig &dirCache,
+                    const EvalOptions &opts)
+{
+    const auto matrix =
+        runMatrix(cfgs, opts, {limitedFactory(nPointers, dirCache)});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "coherence/results.hh"
+#include "directory/dir_cache.hh"
 #include "directory/entry.hh"
 #include "gen/workloads.hh"
 #include "mem/set_assoc.hh"
@@ -96,6 +97,13 @@ struct EvalOptions
      * A/B the raw path.
      */
     bool usePreparedTraces = true;
+    /**
+     * Finite directory-entry cache applied to the directory-based
+     * engines (inval and DiriNB; the snoopy engines have no directory
+     * to cache).  Disabled by default — the paper's entry-per-block
+     * model.
+     */
+    directory::DirCacheConfig dirCache;
 };
 
 /** Run the three standard engines over each workload. */
@@ -147,6 +155,26 @@ coherence::EngineResults
 invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
                       const mem::CacheGeometry &geometry,
                       const EvalOptions &opts = EvalOptions{});
+
+/**
+ * Run the invalidation engine behind a finite directory cache,
+ * merged across workloads.  Equivalent to setting opts.dirCache but
+ * keeps call sites that sweep cache sizes compact.
+ */
+coherence::EngineResults
+invalWithDirCache(const std::vector<gen::WorkloadConfig> &cfgs,
+                  const directory::DirCacheConfig &dirCache,
+                  const EvalOptions &opts = EvalOptions{});
+
+/**
+ * Run the DiriNB engine behind a finite directory cache, merged
+ * across workloads.
+ */
+coherence::EngineResults
+limitedWithDirCache(const std::vector<gen::WorkloadConfig> &cfgs,
+                    unsigned nPointers,
+                    const directory::DirCacheConfig &dirCache,
+                    const EvalOptions &opts = EvalOptions{});
 
 } // namespace dirsim::analysis
 

@@ -13,6 +13,8 @@
 #ifndef DIRSIM_CLI_PARSE_HH
 #define DIRSIM_CLI_PARSE_HH
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -63,6 +65,49 @@ parseUnsignedInRange(const char *text, const std::string &what,
                      unsigned lo, unsigned hi)
 {
     const unsigned value = parseUnsigned(text, what);
+    if (value < lo || value > hi) {
+        std::cerr << "error: " << what << " must be in [" << lo << ", "
+                  << hi << "], got " << value << "\n";
+        std::exit(2);
+    }
+    return value;
+}
+
+/**
+ * Parse @p text as a finite decimal floating-point number.
+ *
+ * Rejects the empty string, trailing characters ("1.5x"), bare signs,
+ * non-finite spellings ("nan", "inf") and magnitudes strtod cannot
+ * represent; any of these prints an error naming @p what and exits
+ * with status 2, matching parseUnsigned.
+ */
+inline double
+parseDouble(const char *text, const std::string &what)
+{
+    const std::string s = text == nullptr ? "" : text;
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(s.c_str(), &end);
+    const bool consumed =
+        !s.empty() && end == s.c_str() + s.size();
+    if (!consumed || errno == ERANGE || !std::isfinite(value)) {
+        std::cerr << "error: invalid " << what << " value '" << s
+                  << "' (expected a finite decimal number)\n";
+        std::exit(2);
+    }
+    return value;
+}
+
+/**
+ * parseDouble(), then require the value to lie in [@p lo, @p hi]
+ * (inclusive); out-of-range input exits with status 2 and a message
+ * stating the accepted range.
+ */
+inline double
+parseDoubleInRange(const char *text, const std::string &what,
+                   double lo, double hi)
+{
+    const double value = parseDouble(text, what);
     if (value < lo || value > hi) {
         std::cerr << "error: " << what << " must be in [" << lo << ", "
                   << hi << "], got " << value << "\n";

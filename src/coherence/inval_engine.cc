@@ -28,6 +28,9 @@ InvalEngine::InvalEngine(const InvalEngineConfig &cfg)
         for (unsigned u = 0; u < _cfg.nUnits; ++u)
             _caches.push_back(_cfg.cacheFactory());
     }
+    if (_cfg.dirCache.enabled)
+        _dirCache = std::make_unique<directory::DirectoryCache>(
+            _cfg.dirCache);
 }
 
 void
@@ -39,6 +42,8 @@ InvalEngine::reset()
     _dirArena.clear();
     for (auto &cache : _caches)
         cache->clear();
+    if (_dirCache)
+        _dirCache->clear();
 }
 
 void
@@ -46,6 +51,8 @@ InvalEngine::reserveBlocks(std::uint64_t blocks)
 {
     _blocks.reserve(blocks);
     _dirArena.reserve(blocks);
+    if (_dirCache)
+        _dirCache->reserveBlocks(blocks);
 }
 
 InvalEngine::BlockState &
@@ -110,6 +117,44 @@ InvalEngine::fillCache(unsigned unit, mem::BlockId block)
     }
     if (directory::DirEntry *dir = dirOf(*victim))
         dir->removeSharer(unit);
+}
+
+void
+InvalEngine::touchDirCache(mem::BlockId block)
+{
+    if (!_dirCache)
+        return;
+    const directory::DirCacheTouch touch = _dirCache->touch(block);
+    if (touch.hit) {
+        ++_results.dirCacheHits;
+        return;
+    }
+    ++_results.dirCacheMisses;
+    if (!touch.evicted)
+        return;
+    ++_results.dirCacheEvictions;
+    // Any block that ever got a directory entry is tracked.  The
+    // non-inserting find keeps this call rehash-free: our callers
+    // hold a BlockState reference across it (same contract as
+    // fillCache).
+    BlockState *victim = _blocks.find(touch.victim);
+    assert(victim && "dir-cache victim must be tracked");
+    _results.dirCacheEvictionInvals += popcount(victim->holders);
+    if (victim->owner >= 0) {
+        // The sole dirty copy is flushed to memory before it dies.
+        victim->owner = -1;
+        ++_results.dirCacheEvictionWriteBacks;
+        if (directory::DirEntry *dir = dirOf(*victim))
+            dir->cleanse();
+    }
+    if (directory::DirEntry *dir = dirOf(*victim)) {
+        // The shadowed organisation forgets the entry's state too.
+        for (unsigned u = 0; u < _cfg.nUnits; ++u) {
+            if (victim->holders & (1ULL << u))
+                dir->removeSharer(u);
+        }
+    }
+    invalidateMask(touch.victim, *victim, victim->holders);
 }
 
 void
@@ -180,6 +225,7 @@ InvalEngine::handleRead(unsigned unit, mem::BlockId block,
 
     // Every miss involves the block's home node (memory + directory).
     recordHomeUse(unit, st, block);
+    touchDirCache(block);
 
     if (!st.referenced) {
         st.referenced = true;
@@ -239,6 +285,10 @@ InvalEngine::handleWrite(unsigned unit, mem::BlockId block,
             _caches[unit]->touch(block);
         return;
     }
+
+    // Reaching here means a directory transaction: a miss, or a hit
+    // to a clean copy whose write permission the directory grants.
+    touchDirCache(block);
 
     if (has_copy) {
         // Write hit to a clean copy.  A dirty copy elsewhere is

@@ -24,6 +24,7 @@
 
 #include "coherence/engine.hh"
 #include "directory/arena.hh"
+#include "directory/dir_cache.hh"
 #include "directory/entry.hh"
 #include "mem/tag_store.hh"
 #include "util/flat_map.hh"
@@ -53,6 +54,11 @@ struct InvalEngineConfig
      * means infinite caches (the paper's model).
      */
     std::function<std::unique_ptr<mem::TagStore>()> cacheFactory;
+    /**
+     * Finite directory-entry cache; disabled means the paper's
+     * entry-per-block directory.
+     */
+    directory::DirCacheConfig dirCache;
 };
 
 /** The multiple-clean / single-dirty invalidation engine. */
@@ -79,6 +85,11 @@ class InvalEngine final : public CoherenceEngine
     std::uint64_t holders(mem::BlockId block) const;
     /** Dirty-owner unit of @p block, or -1. */
     int dirtyOwner(mem::BlockId block) const;
+    /** The finite directory cache, or null when disabled. */
+    const directory::DirectoryCache *dirCache() const
+    {
+        return _dirCache.get();
+    }
 
   private:
     struct BlockState
@@ -114,12 +125,20 @@ class InvalEngine final : public CoherenceEngine
     /** Remove copies in @p mask (tag stores + holder bits). */
     void invalidateMask(mem::BlockId block, BlockState &st,
                         std::uint64_t mask);
+    /**
+     * Look up @p block in the finite directory cache (no-op when
+     * disabled), force-invalidating every copy of the entry the fill
+     * displaced.  Called on every directory transaction — all misses
+     * and write hits to clean blocks — never on pure cache hits.
+     */
+    void touchDirCache(mem::BlockId block);
 
     InvalEngineConfig _cfg;
     EngineResults _results;
     util::FlatMap<mem::BlockId, BlockState> _blocks;
     directory::DirEntryArena _dirArena;
     std::vector<std::unique_ptr<mem::TagStore>> _caches;
+    std::unique_ptr<directory::DirectoryCache> _dirCache;
 };
 
 } // namespace dirsim::coherence

@@ -7,7 +7,8 @@
 namespace dirsim::coherence
 {
 
-LimitedEngine::LimitedEngine(unsigned nUnits, unsigned nPointers)
+LimitedEngine::LimitedEngine(unsigned nUnits, unsigned nPointers,
+                             const directory::DirCacheConfig &dirCache)
     : _nUnits(nUnits), _nPointers(nPointers)
 {
     if (nUnits == 0 || nUnits > 64)
@@ -19,6 +20,9 @@ LimitedEngine::LimitedEngine(unsigned nUnits, unsigned nPointers)
             "exclusive access)");
     _nPointers = std::min(nPointers, nUnits);
     _results.name = "dir" + std::to_string(_nPointers) + "nb";
+    if (dirCache.enabled)
+        _dirCache =
+            std::make_unique<directory::DirectoryCache>(dirCache);
 }
 
 void
@@ -28,6 +32,8 @@ LimitedEngine::reset()
     _results = EngineResults{};
     _results.name = name;
     _blocks.clear();
+    if (_dirCache)
+        _dirCache->clear();
 }
 
 bool
@@ -49,9 +55,9 @@ LimitedEngine::access(unsigned unit, trace::RefType type,
     }
     BlockState &st = _blocks[block];
     if (type == trace::RefType::Read)
-        handleRead(unit, st);
+        handleRead(unit, block, st);
     else
-        handleWrite(unit, st);
+        handleWrite(unit, block, st);
 }
 
 void
@@ -79,12 +85,42 @@ LimitedEngine::recordInstrs(std::uint64_t n)
 }
 
 void
-LimitedEngine::handleRead(unsigned unit, BlockState &st)
+LimitedEngine::touchDirCache(mem::BlockId block)
+{
+    if (!_dirCache)
+        return;
+    const directory::DirCacheTouch touch = _dirCache->touch(block);
+    if (touch.hit) {
+        ++_results.dirCacheHits;
+        return;
+    }
+    ++_results.dirCacheMisses;
+    if (!touch.evicted)
+        return;
+    ++_results.dirCacheEvictions;
+    // Non-inserting find: access() holds a BlockState reference for
+    // the current block across this call.
+    BlockState *victim = _blocks.find(touch.victim);
+    assert(victim && "dir-cache victim must be tracked");
+    _results.dirCacheEvictionInvals += victim->holders.size();
+    if (victim->owner >= 0) {
+        // The sole dirty copy is flushed to memory before it dies.
+        victim->owner = -1;
+        ++_results.dirCacheEvictionWriteBacks;
+    }
+    victim->holders.clear();
+}
+
+void
+LimitedEngine::handleRead(unsigned unit, mem::BlockId block,
+                          BlockState &st)
 {
     if (holds(st, unit)) {
         _results.events.record(Event::RdHit);
         return;
     }
+
+    touchDirCache(block);
 
     if (!st.referenced) {
         st.referenced = true;
@@ -116,12 +152,16 @@ LimitedEngine::handleRead(unsigned unit, BlockState &st)
 }
 
 void
-LimitedEngine::handleWrite(unsigned unit, BlockState &st)
+LimitedEngine::handleWrite(unsigned unit, mem::BlockId block,
+                           BlockState &st)
 {
     if (holds(st, unit) && st.owner == static_cast<int>(unit)) {
         _results.events.record(Event::WhBlkDrty);
         return;
     }
+
+    // A miss, or a hit to a clean copy: the directory is consulted.
+    touchDirCache(block);
 
     if (holds(st, unit)) {
         assert(st.owner < 0);

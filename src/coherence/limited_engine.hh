@@ -18,9 +18,11 @@
 #ifndef DIRSIM_COHERENCE_LIMITED_ENGINE_HH
 #define DIRSIM_COHERENCE_LIMITED_ENGINE_HH
 
+#include <memory>
 #include <vector>
 
 #include "coherence/engine.hh"
+#include "directory/dir_cache.hh"
 #include "util/flat_map.hh"
 
 namespace dirsim::coherence
@@ -33,8 +35,11 @@ class LimitedEngine final : public CoherenceEngine
     /**
      * @param nUnits Number of caches.
      * @param nPointers The i of DiriNB; 1 <= i <= nUnits.
+     * @param dirCache Optional finite directory-entry cache; the
+     *        default (disabled) keeps an entry per block.
      */
-    LimitedEngine(unsigned nUnits, unsigned nPointers);
+    LimitedEngine(unsigned nUnits, unsigned nPointers,
+                  const directory::DirCacheConfig &dirCache = {});
 
     void access(unsigned unit, trace::RefType type,
                 mem::BlockId block) override;
@@ -47,6 +52,8 @@ class LimitedEngine final : public CoherenceEngine
     void reserveBlocks(std::uint64_t blocks) override
     {
         _blocks.reserve(blocks);
+        if (_dirCache)
+            _dirCache->reserveBlocks(blocks);
     }
     std::uint64_t blocksTracked() const override
     {
@@ -54,6 +61,11 @@ class LimitedEngine final : public CoherenceEngine
     }
 
     unsigned numPointers() const { return _nPointers; }
+    /** The finite directory cache, or null when disabled. */
+    const directory::DirectoryCache *dirCache() const
+    {
+        return _dirCache.get();
+    }
 
   private:
     struct BlockState
@@ -65,13 +77,18 @@ class LimitedEngine final : public CoherenceEngine
     };
 
     bool holds(const BlockState &st, unsigned unit) const;
-    void handleRead(unsigned unit, BlockState &st);
-    void handleWrite(unsigned unit, BlockState &st);
+    void handleRead(unsigned unit, mem::BlockId block, BlockState &st);
+    void handleWrite(unsigned unit, mem::BlockId block,
+                     BlockState &st);
+    /** Directory-cache lookup on a directory transaction; evicting a
+     *  resident entry force-invalidates the victim's copies. */
+    void touchDirCache(mem::BlockId block);
 
     unsigned _nUnits;
     unsigned _nPointers;
     EngineResults _results;
     util::FlatMap<mem::BlockId, BlockState> _blocks;
+    std::unique_ptr<directory::DirectoryCache> _dirCache;
 };
 
 } // namespace dirsim::coherence

@@ -18,6 +18,11 @@ EngineResults::merge(const EngineResults &other)
     homeRemoteTransactions += other.homeRemoteTransactions;
     replacementEvictions += other.replacementEvictions;
     replacementWriteBacks += other.replacementWriteBacks;
+    dirCacheHits += other.dirCacheHits;
+    dirCacheMisses += other.dirCacheMisses;
+    dirCacheEvictions += other.dirCacheEvictions;
+    dirCacheEvictionInvals += other.dirCacheEvictionInvals;
+    dirCacheEvictionWriteBacks += other.dirCacheEvictionWriteBacks;
 }
 
 bool
@@ -34,7 +39,13 @@ EngineResults::operator==(const EngineResults &other) const
            homeLocalTransactions == other.homeLocalTransactions &&
            homeRemoteTransactions == other.homeRemoteTransactions &&
            replacementEvictions == other.replacementEvictions &&
-           replacementWriteBacks == other.replacementWriteBacks;
+           replacementWriteBacks == other.replacementWriteBacks &&
+           dirCacheHits == other.dirCacheHits &&
+           dirCacheMisses == other.dirCacheMisses &&
+           dirCacheEvictions == other.dirCacheEvictions &&
+           dirCacheEvictionInvals == other.dirCacheEvictionInvals &&
+           dirCacheEvictionWriteBacks ==
+               other.dirCacheEvictionWriteBacks;
 }
 
 } // namespace dirsim::coherence

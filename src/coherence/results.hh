@@ -82,6 +82,23 @@ struct EngineResults
     std::uint64_t replacementWriteBacks = 0;
     /** @} */
 
+    /** @name Finite directory-cache (sparse directory) counters.
+     *
+     * Filled when the engine runs behind a directory::DirectoryCache.
+     * Conservation invariant, checked by the test suite: every entry
+     * eviction force-invalidates exactly the copies the engine tracked
+     * for the victim block, so dirCacheEvictionInvals equals the sum
+     * over evictions of the victim's holder count at eviction time.
+     * @{ */
+    std::uint64_t dirCacheHits = 0;
+    std::uint64_t dirCacheMisses = 0;
+    std::uint64_t dirCacheEvictions = 0;
+    /** Cached copies force-invalidated by entry evictions. */
+    std::uint64_t dirCacheEvictionInvals = 0;
+    /** Dirty victims written back before invalidation. */
+    std::uint64_t dirCacheEvictionWriteBacks = 0;
+    /** @} */
+
     /** Merge another run (e.g.\ averaging across traces). */
     void merge(const EngineResults &other);
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/flat_map.hh"
+
 namespace dirsim::mem
 {
 
@@ -22,7 +24,9 @@ SetAssocTagStore::SetAssocTagStore(const CacheGeometry &geometry)
 std::uint64_t
 SetAssocTagStore::setIndex(BlockId block) const
 {
-    return block & _setMask;
+    const std::uint64_t key =
+        _geometry.mixSetIndex ? util::mix64(block) : block;
+    return key & _setMask;
 }
 
 SetAssocTagStore::Way *

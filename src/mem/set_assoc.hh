@@ -20,6 +20,15 @@ struct CacheGeometry
     std::uint64_t capacityBytes = 64 * 1024;
     unsigned blockBytes = 16;
     unsigned ways = 4;
+    /**
+     * Spread block ids across sets with util::mix64 before masking.
+     * BlockMapper hands engines dense sequential ids, so the default
+     * low-bits index aliases strided footprints (every numSets-th
+     * block lands in one set); mixing breaks that up.  Off by default:
+     * the original fixed mapping is what hardware indexed by address
+     * bits does, and the finite-cache golden digests pin it.
+     */
+    bool mixSetIndex = false;
 
     std::uint64_t
     numSets() const

@@ -362,6 +362,13 @@ computeCost(Scheme scheme, const EngineResults &results,
     cost.writeBack +=
         fr.scale(results.replacementWriteBacks) * bus.writeBack;
 
+    // Finite directory cache: replacing an entry force-invalidates
+    // every copy of the victim block and flushes a dirty victim.
+    cost.invalidate +=
+        fr.scale(results.dirCacheEvictionInvals) * bus.invalidate;
+    cost.writeBack +=
+        fr.scale(results.dirCacheEvictionWriteBacks) * bus.writeBack;
+
     cost.overhead = cost.transactionsPerRef * opts.overheadQ;
     return cost;
 }

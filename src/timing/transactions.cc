@@ -90,6 +90,10 @@ TransactionModel::charge(const EngineResults &r)
         r.displacementInvals - _prev.displacementInvals;
     const std::uint64_t dReplWB =
         r.replacementWriteBacks - _prev.replacementWriteBacks;
+    const std::uint64_t dDcInv =
+        r.dirCacheEvictionInvals - _prev.dirCacheEvictionInvals;
+    const std::uint64_t dDcWB = r.dirCacheEvictionWriteBacks -
+                                _prev.dirCacheEvictionWriteBacks;
 
     ++_prev.totalRefs;
     ++_prev.events[static_cast<std::size_t>(event)];
@@ -100,6 +104,8 @@ TransactionModel::charge(const EngineResults &r)
     _prev.holderGrowth12 = r.holderGrowth12;
     _prev.displacementInvals = r.displacementInvals;
     _prev.replacementWriteBacks = r.replacementWriteBacks;
+    _prev.dirCacheEvictionInvals = r.dirCacheEvictionInvals;
+    _prev.dirCacheEvictionWriteBacks = r.dirCacheEvictionWriteBacks;
 
     const std::uint64_t mem = _bus.memoryAccess;
     const std::uint64_t cache = _bus.cacheAccess;
@@ -408,14 +414,17 @@ TransactionModel::charge(const EngineResults &r)
         break;
     }
 
-    // Finite-cache extension: replacement write-backs use the bus but
-    // are not transactions of their own in the static accounting.
-    if (dReplWB != 0) {
+    // Finite-cache replacement write-backs and directory-cache
+    // eviction traffic use the bus but are not transactions of their
+    // own in the static accounting.
+    const std::uint64_t extra =
+        dReplWB * wb + dDcInv * inv + dDcWB * wb;
+    if (extra != 0) {
         if (out.count != 0)
             out.txns[out.count - 1].busCycles +=
-                static_cast<std::uint32_t>(dReplWB * wb);
+                static_cast<std::uint32_t>(extra);
         else
-            emit(dReplWB * wb, false, false);
+            emit(extra, false, false);
     }
 
     return out;
@@ -534,7 +543,9 @@ staticBusCycles(sim::Scheme scheme, const EngineResults &results,
         break;
     }
 
-    return cycles + results.replacementWriteBacks * wb + txns * q;
+    return cycles + results.replacementWriteBacks * wb +
+           results.dirCacheEvictionInvals * inv +
+           results.dirCacheEvictionWriteBacks * wb + txns * q;
 }
 
 } // namespace dirsim::timing

@@ -106,6 +106,8 @@ class TransactionModel
         std::uint64_t holderGrowth12 = 0;
         std::uint64_t displacementInvals = 0;
         std::uint64_t replacementWriteBacks = 0;
+        std::uint64_t dirCacheEvictionInvals = 0;
+        std::uint64_t dirCacheEvictionWriteBacks = 0;
     };
 
     sim::Scheme _scheme;

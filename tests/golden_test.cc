@@ -33,6 +33,7 @@
 #include "coherence/limited_engine.hh"
 #include "coherence/wti_engine.hh"
 #include "directory/coarse_vector.hh"
+#include "directory/dir_cache.hh"
 #include "directory/full_map.hh"
 #include "directory/limited_pointer.hh"
 #include "directory/two_bit.hh"
@@ -40,6 +41,7 @@
 #include "gen/workloads.hh"
 #include "mem/set_assoc.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "sim/trace_repo.hh"
 #include "trace/prepared.hh"
 
@@ -108,53 +110,72 @@ digest(const coherence::EngineResults &r)
     return d.value();
 }
 
-/** The scheme axis: every engine variant the repo can run. */
+/**
+ * The scheme axis: every engine variant the repo can run.  Makers
+ * take an optional directory-cache configuration (null = the paper's
+ * entry-per-block directory); engines without a directory to cache —
+ * the snoopy WTI/Dragon/Berkeley models — ignore it.
+ */
 struct Scheme
 {
     const char *label;
-    std::unique_ptr<coherence::CoherenceEngine> (*make)(unsigned units);
+    std::unique_ptr<coherence::CoherenceEngine> (*make)(
+        unsigned units, const directory::DirCacheConfig *dc);
+    /** Does the engine model a directory this cache sits in front of? */
+    bool dirCacheCapable;
 };
 
+directory::DirCacheConfig
+dirCacheOrNone(const directory::DirCacheConfig *dc)
+{
+    return dc ? *dc : directory::DirCacheConfig{};
+}
+
 std::unique_ptr<coherence::CoherenceEngine>
-makeInval(unsigned units)
+makeInval(unsigned units, const directory::DirCacheConfig *dc)
 {
     coherence::InvalEngineConfig cfg;
     cfg.nUnits = units;
+    cfg.dirCache = dirCacheOrNone(dc);
     return std::make_unique<coherence::InvalEngine>(cfg);
 }
 
 template <typename Factory>
 std::unique_ptr<coherence::CoherenceEngine>
-makeInvalWithDir(unsigned units)
+makeInvalWithDir(unsigned units, const directory::DirCacheConfig *dc)
 {
     static const Factory factory;
     coherence::InvalEngineConfig cfg;
     cfg.nUnits = units;
     cfg.dirFactory = &factory;
+    cfg.dirCache = dirCacheOrNone(dc);
     return std::make_unique<coherence::InvalEngine>(cfg);
 }
 
 std::unique_ptr<coherence::CoherenceEngine>
-makeInvalDir2B(unsigned units)
+makeInvalDir2B(unsigned units, const directory::DirCacheConfig *dc)
 {
     static const directory::LimitedPointerFactory factory(2, true);
     coherence::InvalEngineConfig cfg;
     cfg.nUnits = units;
     cfg.dirFactory = &factory;
+    cfg.dirCache = dirCacheOrNone(dc);
     return std::make_unique<coherence::InvalEngine>(cfg);
 }
 
 std::unique_ptr<coherence::CoherenceEngine>
-makeInvalHome(unsigned units, coherence::HomePolicy policy)
+makeInvalHome(unsigned units, coherence::HomePolicy policy,
+              const directory::DirCacheConfig *dc)
 {
     coherence::InvalEngineConfig cfg;
     cfg.nUnits = units;
     cfg.homePolicy = policy;
+    cfg.dirCache = dirCacheOrNone(dc);
     return std::make_unique<coherence::InvalEngine>(cfg);
 }
 
 std::unique_ptr<coherence::CoherenceEngine>
-makeInvalFinite(unsigned units)
+makeInvalFinite(unsigned units, const directory::DirCacheConfig *dc)
 {
     coherence::InvalEngineConfig cfg;
     cfg.nUnits = units;
@@ -165,48 +186,67 @@ makeInvalFinite(unsigned units)
         geometry.ways = 2;
         return std::make_unique<mem::SetAssocTagStore>(geometry);
     };
+    cfg.dirCache = dirCacheOrNone(dc);
     return std::make_unique<coherence::InvalEngine>(cfg);
 }
 
 const Scheme kSchemes[] = {
-    {"inval", makeInval},
+    {"inval", makeInval, true},
     {"dir1nb",
-     [](unsigned u) -> std::unique_ptr<coherence::CoherenceEngine> {
-         return std::make_unique<coherence::LimitedEngine>(u, 1);
-     }},
+     [](unsigned u, const directory::DirCacheConfig *dc)
+         -> std::unique_ptr<coherence::CoherenceEngine> {
+         return std::make_unique<coherence::LimitedEngine>(
+             u, 1, dirCacheOrNone(dc));
+     },
+     true},
     {"dir2nb",
-     [](unsigned u) -> std::unique_ptr<coherence::CoherenceEngine> {
-         return std::make_unique<coherence::LimitedEngine>(u, 2);
-     }},
+     [](unsigned u, const directory::DirCacheConfig *dc)
+         -> std::unique_ptr<coherence::CoherenceEngine> {
+         return std::make_unique<coherence::LimitedEngine>(
+             u, 2, dirCacheOrNone(dc));
+     },
+     true},
     {"wti",
-     [](unsigned u) -> std::unique_ptr<coherence::CoherenceEngine> {
+     [](unsigned u, const directory::DirCacheConfig *)
+         -> std::unique_ptr<coherence::CoherenceEngine> {
          return std::make_unique<coherence::WtiEngine>(u, true);
-     }},
+     },
+     false},
     {"wti-noalloc",
-     [](unsigned u) -> std::unique_ptr<coherence::CoherenceEngine> {
+     [](unsigned u, const directory::DirCacheConfig *)
+         -> std::unique_ptr<coherence::CoherenceEngine> {
          return std::make_unique<coherence::WtiEngine>(u, false);
-     }},
+     },
+     false},
     {"dragon",
-     [](unsigned u) -> std::unique_ptr<coherence::CoherenceEngine> {
+     [](unsigned u, const directory::DirCacheConfig *)
+         -> std::unique_ptr<coherence::CoherenceEngine> {
          return std::make_unique<coherence::DragonEngine>(u);
-     }},
+     },
+     false},
     {"berkeley",
-     [](unsigned u) -> std::unique_ptr<coherence::CoherenceEngine> {
+     [](unsigned u, const directory::DirCacheConfig *)
+         -> std::unique_ptr<coherence::CoherenceEngine> {
          return std::make_unique<coherence::BerkeleyEngine>(u);
-     }},
-    {"inval+fullmap", makeInvalWithDir<directory::FullMapFactory>},
-    {"inval+twobit", makeInvalWithDir<directory::TwoBitFactory>},
-    {"inval+coarse", makeInvalWithDir<directory::CoarseVectorFactory>},
-    {"inval+dir2b", makeInvalDir2B},
+     },
+     false},
+    {"inval+fullmap", makeInvalWithDir<directory::FullMapFactory>,
+     true},
+    {"inval+twobit", makeInvalWithDir<directory::TwoBitFactory>, true},
+    {"inval+coarse", makeInvalWithDir<directory::CoarseVectorFactory>,
+     true},
+    {"inval+dir2b", makeInvalDir2B, true},
     {"inval+home-mod",
-     [](unsigned u) {
-         return makeInvalHome(u, coherence::HomePolicy::Modulo);
-     }},
+     [](unsigned u, const directory::DirCacheConfig *dc) {
+         return makeInvalHome(u, coherence::HomePolicy::Modulo, dc);
+     },
+     true},
     {"inval+home-ft",
-     [](unsigned u) {
-         return makeInvalHome(u, coherence::HomePolicy::FirstTouch);
-     }},
-    {"inval+finite", makeInvalFinite},
+     [](unsigned u, const directory::DirCacheConfig *dc) {
+         return makeInvalHome(u, coherence::HomePolicy::FirstTouch, dc);
+     },
+     true},
+    {"inval+finite", makeInvalFinite, true},
 };
 
 constexpr std::size_t kNumSchemes =
@@ -214,11 +254,12 @@ constexpr std::size_t kNumSchemes =
 
 /** One workload's digests, one per scheme, in kSchemes order. */
 std::vector<std::uint64_t>
-runWorkload(const gen::WorkloadConfig &cfg)
+runWorkload(const gen::WorkloadConfig &cfg,
+            const directory::DirCacheConfig *dc = nullptr)
 {
     sim::Simulator simulator;
     for (const Scheme &scheme : kSchemes)
-        simulator.addEngine(scheme.make(cfg.space.nProcesses));
+        simulator.addEngine(scheme.make(cfg.space.nProcesses, dc));
     gen::WorkloadSource source(cfg);
     simulator.run(source);
 
@@ -245,13 +286,14 @@ const std::uint64_t kGolden[3][kNumSchemes] = {
 
 /** Same digests, but replaying the decode-once prepared stream. */
 std::vector<std::uint64_t>
-runWorkloadPrepared(const gen::WorkloadConfig &cfg)
+runWorkloadPrepared(const gen::WorkloadConfig &cfg,
+                    const directory::DirCacheConfig *dc = nullptr)
 {
     const std::shared_ptr<const trace::PreparedTrace> prepared =
         sim::TraceRepository::global().get(cfg);
     sim::Simulator simulator;
     for (const Scheme &scheme : kSchemes)
-        simulator.addEngine(scheme.make(cfg.space.nProcesses));
+        simulator.addEngine(scheme.make(cfg.space.nProcesses, dc));
     simulator.run(*prepared);
 
     std::vector<std::uint64_t> digests;
@@ -309,6 +351,138 @@ TEST(GoldenEquivalence, PreparedReplayMatchesGoldenDigests)
                 << "scheme '" << kSchemes[s].label << "' on workload '"
                 << workloads[w].name
                 << "' diverged when replayed from the prepared trace";
+        }
+    }
+}
+
+/**
+ * An *unbounded* directory cache (entries = 0) can never evict, so
+ * adding it in front of any directory must be invisible: every scheme
+ * × workload digest stays bit-identical to the seed table, on both
+ * the raw-replay and prepared-replay paths.  This pins the tentpole's
+ * integration points (touch placement, counter plumbing) against the
+ * 42 golden design points before the finite-capacity behaviour is
+ * exercised elsewhere.
+ */
+TEST(GoldenEquivalence, UnboundedDirCacheMatchesGoldenDigests)
+{
+    directory::DirCacheConfig dc;
+    dc.enabled = true;
+    dc.entries = 0; // unbounded: tracks every block, never evicts
+
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::vector<std::uint64_t> raw =
+            runWorkload(workloads[w], &dc);
+        const std::vector<std::uint64_t> prepared =
+            runWorkloadPrepared(workloads[w], &dc);
+        ASSERT_EQ(raw.size(), kNumSchemes);
+        ASSERT_EQ(prepared.size(), kNumSchemes);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            EXPECT_EQ(raw[s], kGolden[w][s])
+                << "scheme '" << kSchemes[s].label << "' on workload '"
+                << workloads[w].name
+                << "' diverged under an unbounded directory cache (raw)";
+            EXPECT_EQ(prepared[s], kGolden[w][s])
+                << "scheme '" << kSchemes[s].label << "' on workload '"
+                << workloads[w].name
+                << "' diverged under an unbounded directory cache "
+                   "(prepared)";
+        }
+    }
+}
+
+/**
+ * The unbounded cache is invisible to results, but it must actually
+ * be *running*: directory-capable schemes must record misses (first
+ * touch of each block) and zero evictions/invalidations.
+ */
+TEST(GoldenEquivalence, UnboundedDirCacheCountersAreSane)
+{
+    directory::DirCacheConfig dc;
+    dc.enabled = true;
+    dc.entries = 0;
+
+    const gen::WorkloadConfig cfg = gen::standardWorkloads()[0];
+    sim::Simulator simulator;
+    for (const Scheme &scheme : kSchemes)
+        simulator.addEngine(scheme.make(cfg.space.nProcesses, &dc));
+    gen::WorkloadSource source(cfg);
+    simulator.run(source);
+
+    for (std::size_t s = 0; s < kNumSchemes; ++s) {
+        const coherence::EngineResults &r =
+            simulator.engine(s).results();
+        if (kSchemes[s].dirCacheCapable) {
+            EXPECT_GT(r.dirCacheMisses, 0u)
+                << kSchemes[s].label
+                << ": cache enabled but never consulted";
+        } else {
+            EXPECT_EQ(r.dirCacheMisses, 0u) << kSchemes[s].label;
+            EXPECT_EQ(r.dirCacheHits, 0u) << kSchemes[s].label;
+        }
+        EXPECT_EQ(r.dirCacheEvictions, 0u) << kSchemes[s].label;
+        EXPECT_EQ(r.dirCacheEvictionInvals, 0u) << kSchemes[s].label;
+        EXPECT_EQ(r.dirCacheEvictionWriteBacks, 0u)
+            << kSchemes[s].label;
+    }
+}
+
+/**
+ * The same 42 points fanned across a SweepRunner with 4 workers, one
+ * point per (workload, scheme) cell — raw sources for even scheme
+ * indices, the shared prepared trace for odd ones — must still land
+ * on the golden digests in submission order.
+ */
+TEST(GoldenEquivalence, UnboundedDirCacheParallelSweepMatchesGolden)
+{
+    directory::DirCacheConfig dc;
+    dc.enabled = true;
+    dc.entries = 0;
+
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+
+    sim::SweepRunner runner(4);
+    for (const gen::WorkloadConfig &cfg : workloads) {
+        const std::shared_ptr<const trace::PreparedTrace> prepared =
+            sim::TraceRepository::global().get(cfg);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            sim::SweepPoint point;
+            point.name = std::string(cfg.name) + "/" +
+                         kSchemes[s].label;
+            point.engines = [s, units = cfg.space.nProcesses, &dc] {
+                std::vector<
+                    std::unique_ptr<coherence::CoherenceEngine>>
+                    engines;
+                engines.push_back(kSchemes[s].make(units, &dc));
+                return engines;
+            };
+            if (s % 2 == 0)
+                point.source = [cfg] {
+                    return std::make_unique<gen::WorkloadSource>(cfg);
+                };
+            else
+                point.prepared = prepared;
+            runner.add(std::move(point));
+        }
+    }
+
+    const std::vector<sim::SweepPointResult> results = runner.run();
+    ASSERT_EQ(results.size(), workloads.size() * kNumSchemes);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            const sim::SweepPointResult &res =
+                results[w * kNumSchemes + s];
+            ASSERT_EQ(res.engines.size(), 1u);
+            EXPECT_EQ(digest(res.engines[0]), kGolden[w][s])
+                << "point '" << res.name
+                << "' diverged under an unbounded directory cache in "
+                   "a parallel sweep";
         }
     }
 }

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "coherence/dragon_engine.hh"
 #include "coherence/inval_engine.hh"
@@ -352,6 +354,377 @@ TEST(ModelCheck, Dir1NbExhaustiveLength6)
             ASSERT_EQ(got, expected)
                 << "sequence " << seq << " step " << step;
         }
+    }
+}
+
+// --- Finite directory caches -----------------------------------------
+
+/**
+ * Reference specification of the inval model with a tiny finite
+ * directory cache in front of the directory: a 2-entry, literal-LRU
+ * list of blocks with resident entries.  Every directory transaction
+ * (anything but a pure RdHit / WhBlkDrty) touches the list; filling
+ * it past capacity drops the least-recently-consulted entry, and
+ * coherence demands the victim's copies die with it — holders
+ * cleared, a dirty owner written back first.  The spec also counts
+ * the eviction traffic so the engine's conservation counters can be
+ * checked exactly.
+ */
+class SpecInvalDirCache
+{
+  public:
+    static constexpr unsigned capacity = 2;
+
+    Event
+    access(unsigned unit, RefType type, std::uint64_t block)
+    {
+        auto &holders = _holders[block];
+        auto &dirty = _dirty[block];
+        const bool seen = _referenced.count(block) > 0;
+
+        // Pure cache hits never reach the directory.
+        if (type == RefType::Read && holders.count(unit))
+            return Event::RdHit;
+        if (type == RefType::Write && holders.count(unit) &&
+            dirty == unit)
+            return Event::WhBlkDrty;
+
+        touchCache(block);
+        _referenced.insert(block);
+
+        if (type == RefType::Read) {
+            Event event;
+            if (!seen) {
+                event = Event::RmFirstRef;
+            } else if (dirty.has_value()) {
+                event = Event::RmBlkDrty;
+                dirty.reset();
+            } else if (!holders.empty()) {
+                event = Event::RmBlkCln;
+            } else {
+                event = Event::RmMemory;
+            }
+            holders.insert(unit);
+            return event;
+        }
+
+        Event event;
+        if (holders.count(unit)) {
+            event = holders.size() == 1 ? Event::WhBlkClnExcl
+                                        : Event::WhBlkClnShared;
+        } else if (!seen) {
+            event = Event::WmFirstRef;
+        } else if (dirty.has_value()) {
+            event = Event::WmBlkDrty;
+        } else if (!holders.empty()) {
+            event = Event::WmBlkCln;
+        } else {
+            event = Event::WmMemory;
+        }
+        holders.clear();
+        holders.insert(unit);
+        dirty = unit;
+        return event;
+    }
+
+    const std::set<unsigned> &holders(std::uint64_t block)
+    {
+        return _holders[block];
+    }
+    const std::optional<unsigned> &dirtyOwner(std::uint64_t block)
+    {
+        return _dirty[block];
+    }
+
+    std::uint64_t evictions = 0;
+    std::uint64_t evictionInvals = 0;
+    std::uint64_t evictionWriteBacks = 0;
+
+  private:
+    void
+    touchCache(std::uint64_t block)
+    {
+        for (auto it = _lru.begin(); it != _lru.end(); ++it) {
+            if (*it == block) { // hit: refresh to MRU
+                _lru.erase(it);
+                _lru.insert(_lru.begin(), block);
+                return;
+            }
+        }
+        if (_lru.size() == capacity) { // full: evict the LRU entry
+            const std::uint64_t victim = _lru.back();
+            _lru.pop_back();
+            ++evictions;
+            evictionInvals += _holders[victim].size();
+            if (_dirty[victim].has_value()) {
+                ++evictionWriteBacks;
+                _dirty[victim].reset();
+            }
+            _holders[victim].clear();
+        }
+        _lru.insert(_lru.begin(), block);
+    }
+
+    std::vector<std::uint64_t> _lru; //!< MRU first, size <= capacity.
+    std::map<std::uint64_t, std::set<unsigned>> _holders;
+    std::map<std::uint64_t, std::optional<unsigned>> _dirty;
+    std::set<std::uint64_t> _referenced;
+};
+
+coherence::InvalEngine
+invalWithTinyDirCache(unsigned units)
+{
+    coherence::InvalEngineConfig cfg;
+    cfg.nUnits = units;
+    cfg.dirCache.enabled = true;
+    cfg.dirCache.entries = SpecInvalDirCache::capacity;
+    cfg.dirCache.associativity = SpecInvalDirCache::capacity;
+    return coherence::InvalEngine(cfg);
+}
+
+/**
+ * The distilled eviction-coherence scenario: a 2-entry directory
+ * cache, 2 CPUs, 3 blocks.  Consulting the directory for blocks 1
+ * and 2 evicts block 0's entry, which must kill cpu 0's cached copy
+ * — its next read of block 0 must miss (to memory: the entry died
+ * clean with no other sharers), never hit stale data.
+ */
+TEST(ModelCheckDirCache, NoStaleReadAfterEviction)
+{
+    auto engine = invalWithTinyDirCache(2);
+    Symbol s0{0, RefType::Read, 0};
+    EXPECT_EQ(observe(engine, s0), Event::RmFirstRef);
+    EXPECT_EQ(observe(engine, s0), Event::RdHit);
+
+    Symbol s1{1, RefType::Read, 1};
+    EXPECT_EQ(observe(engine, s1), Event::RmFirstRef);
+    Symbol s2{1, RefType::Read, 2}; // evicts block 0's entry
+    EXPECT_EQ(observe(engine, s2), Event::RmFirstRef);
+    EXPECT_EQ(engine.results().dirCacheEvictions, 1u);
+    EXPECT_EQ(engine.results().dirCacheEvictionInvals, 1u);
+    EXPECT_EQ(engine.holders(0), 0u) << "stale copy survived eviction";
+
+    // The re-read is a miss serviced from memory, not a stale RdHit.
+    EXPECT_EQ(observe(engine, s0), Event::RmMemory);
+
+    // Dirty variant: a written block's eviction must write back.
+    auto dirtyEngine = invalWithTinyDirCache(2);
+    Symbol w0{0, RefType::Write, 0};
+    EXPECT_EQ(observe(dirtyEngine, w0), Event::WmFirstRef);
+    EXPECT_EQ(observe(dirtyEngine, s1), Event::RmFirstRef);
+    EXPECT_EQ(observe(dirtyEngine, s2), Event::RmFirstRef);
+    EXPECT_EQ(dirtyEngine.results().dirCacheEvictionWriteBacks, 1u);
+    EXPECT_EQ(dirtyEngine.dirtyOwner(0), -1);
+    EXPECT_EQ(observe(dirtyEngine, s0), Event::RmMemory);
+}
+
+/**
+ * Exhaustive check of the inval engine behind a 2-entry directory
+ * cache: 2 units × 3 blocks (so the third block forces evictions),
+ * every length-5 sequence (12^5 = 248,832), asserting per-step event
+ * equality, per-step holder/owner state equality for every block
+ * (i.e. eviction invalidation is neither missed nor overshot), and
+ * end-of-sequence conservation of the eviction counters.
+ */
+TEST(ModelCheckDirCache, InvalEngineExhaustiveLength5)
+{
+    constexpr unsigned units = 2;
+    constexpr unsigned blocks = 3;
+    constexpr unsigned alphabet = units * 2 * blocks; // 12
+    constexpr unsigned length = 5;
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i)
+        total *= alphabet;
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        auto engine = invalWithTinyDirCache(units);
+        SpecInvalDirCache spec;
+        std::uint64_t code = seq;
+        for (unsigned step = 0; step < length; ++step) {
+            const Symbol sym =
+                decode(static_cast<unsigned>(code % alphabet), units,
+                       blocks);
+            code /= alphabet;
+            const Event expected =
+                spec.access(sym.unit, sym.type, sym.block);
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected)
+                << "sequence " << seq << " step " << step << ": spec "
+                << coherence::eventName(expected) << ", engine "
+                << coherence::eventName(got);
+
+            // Full sharing-state equality across every block.
+            for (std::uint64_t b = 0; b < blocks; ++b) {
+                std::uint64_t mask = 0;
+                for (const unsigned u : spec.holders(b))
+                    mask |= 1ULL << u;
+                ASSERT_EQ(engine.holders(b), mask)
+                    << "sequence " << seq << " step " << step
+                    << " block " << b;
+                const int owner = spec.dirtyOwner(b).has_value()
+                                      ? static_cast<int>(
+                                            *spec.dirtyOwner(b))
+                                      : -1;
+                ASSERT_EQ(engine.dirtyOwner(b), owner)
+                    << "sequence " << seq << " step " << step
+                    << " block " << b;
+            }
+        }
+        // Eviction-traffic conservation.
+        const coherence::EngineResults &r = engine.results();
+        ASSERT_EQ(r.dirCacheEvictions, spec.evictions)
+            << "sequence " << seq;
+        ASSERT_EQ(r.dirCacheEvictionInvals, spec.evictionInvals)
+            << "sequence " << seq;
+        ASSERT_EQ(r.dirCacheEvictionWriteBacks,
+                  spec.evictionWriteBacks)
+            << "sequence " << seq;
+    }
+}
+
+/** Deeper random sequences at 3 units × 4 blocks: the cache churns
+ *  constantly, so eviction paths dominate. */
+TEST(ModelCheckDirCache, InvalEngineRandomDeepSequencesThreeUnits)
+{
+    constexpr unsigned units = 3;
+    constexpr unsigned blocks = 4;
+    gen::Rng rng(0xD1CACE);
+    for (int trial = 0; trial < 2'000; ++trial) {
+        auto engine = invalWithTinyDirCache(units);
+        SpecInvalDirCache spec;
+        for (int step = 0; step < 60; ++step) {
+            Symbol sym;
+            sym.unit = static_cast<unsigned>(rng.nextBelow(units));
+            sym.type =
+                rng.chance(0.4) ? RefType::Write : RefType::Read;
+            sym.block = rng.nextBelow(blocks);
+            const Event expected =
+                spec.access(sym.unit, sym.type, sym.block);
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected) << "trial " << trial << " step "
+                                     << step;
+        }
+        const coherence::EngineResults &r = engine.results();
+        ASSERT_GT(r.dirCacheEvictions, 0u) << "trial " << trial;
+        ASSERT_EQ(r.dirCacheEvictions, spec.evictions)
+            << "trial " << trial;
+        ASSERT_EQ(r.dirCacheEvictionInvals, spec.evictionInvals)
+            << "trial " << trial;
+        ASSERT_EQ(r.dirCacheEvictionWriteBacks,
+                  spec.evictionWriteBacks)
+            << "trial " << trial;
+    }
+}
+
+/**
+ * The limited (Dir1NB) engine behind the same 2-entry cache, checked
+ * exhaustively with a literal single-copy spec extended with the LRU
+ * list.  After an eviction the sole copy is gone, so a re-reference
+ * goes to memory — a state plain Dir1NB can never reach.
+ */
+TEST(ModelCheckDirCache, Dir1NbExhaustiveLength5)
+{
+    constexpr unsigned units = 2;
+    constexpr unsigned blocks = 3;
+    constexpr unsigned alphabet = units * 2 * blocks;
+    constexpr unsigned length = 5;
+    constexpr unsigned capacity = 2;
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i)
+        total *= alphabet;
+
+    directory::DirCacheConfig dc;
+    dc.enabled = true;
+    dc.entries = capacity;
+    dc.associativity = capacity;
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        coherence::LimitedEngine engine(units, 1, dc);
+        std::map<std::uint64_t, std::optional<unsigned>> holder;
+        std::map<std::uint64_t, bool> dirty;
+        std::set<std::uint64_t> referenced;
+        std::vector<std::uint64_t> lru; // MRU first
+        std::uint64_t evictions = 0, invals = 0, writeBacks = 0;
+
+        const auto touchCache = [&](std::uint64_t block) {
+            for (auto it = lru.begin(); it != lru.end(); ++it) {
+                if (*it == block) {
+                    lru.erase(it);
+                    lru.insert(lru.begin(), block);
+                    return;
+                }
+            }
+            if (lru.size() == capacity) {
+                const std::uint64_t victim = lru.back();
+                lru.pop_back();
+                ++evictions;
+                if (holder[victim].has_value())
+                    ++invals;
+                if (dirty[victim])
+                    ++writeBacks;
+                holder[victim].reset();
+                dirty[victim] = false;
+            }
+            lru.insert(lru.begin(), block);
+        };
+
+        std::uint64_t code = seq;
+        for (unsigned step = 0; step < length; ++step) {
+            const Symbol sym =
+                decode(static_cast<unsigned>(code % alphabet), units,
+                       blocks);
+            code /= alphabet;
+
+            Event expected;
+            auto &h = holder[sym.block];
+            const bool seen = referenced.count(sym.block) > 0;
+            if (sym.type == RefType::Read && h == sym.unit) {
+                expected = Event::RdHit;
+            } else if (sym.type == RefType::Write && h == sym.unit &&
+                       dirty[sym.block]) {
+                expected = Event::WhBlkDrty;
+            } else {
+                touchCache(sym.block);
+                referenced.insert(sym.block);
+                if (sym.type == RefType::Read) {
+                    if (!seen)
+                        expected = Event::RmFirstRef;
+                    else if (dirty[sym.block])
+                        expected = Event::RmBlkDrty;
+                    else if (h.has_value())
+                        expected = Event::RmBlkCln;
+                    else
+                        expected = Event::RmMemory;
+                    h = sym.unit;
+                    dirty[sym.block] = false;
+                } else {
+                    if (h == sym.unit) {
+                        expected = Event::WhBlkClnExcl;
+                    } else if (!seen) {
+                        expected = Event::WmFirstRef;
+                    } else if (dirty[sym.block]) {
+                        expected = Event::WmBlkDrty;
+                    } else if (h.has_value()) {
+                        expected = Event::WmBlkCln;
+                    } else {
+                        expected = Event::WmMemory;
+                    }
+                    h = sym.unit;
+                    dirty[sym.block] = true;
+                }
+            }
+            const Event got = observe(engine, sym);
+            ASSERT_EQ(got, expected)
+                << "sequence " << seq << " step " << step << ": spec "
+                << coherence::eventName(expected) << ", engine "
+                << coherence::eventName(got);
+        }
+        const coherence::EngineResults &r = engine.results();
+        ASSERT_EQ(r.dirCacheEvictions, evictions) << "sequence " << seq;
+        ASSERT_EQ(r.dirCacheEvictionInvals, invals)
+            << "sequence " << seq;
+        ASSERT_EQ(r.dirCacheEvictionWriteBacks, writeBacks)
+            << "sequence " << seq;
     }
 }
 
