@@ -41,6 +41,13 @@
  *                  single-engine replay
  *   --no-reserve   skip the expectedBlocks reserve hint (measures the
  *                  growth-by-rehash path the seed code always paid)
+ *   --trace-cache-dir PATH    persistent trace cache directory; the
+ *                  prepared pass streams from warm store files and
+ *                  spills on cold misses (sweep mode)
+ *   --trace-cache-budget MiB  disk-tier byte budget (default 4096)
+ *   --stream-chunk-refs N     refs per streamed chunk (bounds replay
+ *                  RSS; default 1048576)
+ *   --repo-stats   print the trace-repository counters after the run
  */
 
 #include <sys/resource.h>
@@ -87,6 +94,10 @@ struct Options
     double floor = 0.0;
     bool sweep = false;
     bool reserve = true;
+    std::string traceCacheDir;
+    std::uint64_t traceCacheBudgetMiB = 4096;
+    std::uint64_t streamChunkRefs = trace::kDefaultChunkRefs;
+    bool repoStats = false;
 };
 
 struct PointResult
@@ -126,11 +137,26 @@ parseOptions(int argc, char **argv)
             opts.sweep = true;
         } else if (std::strcmp(argv[a], "--no-reserve") == 0) {
             opts.reserve = false;
+        } else if (std::strcmp(argv[a], "--trace-cache-dir") == 0) {
+            opts.traceCacheDir = want("--trace-cache-dir");
+        } else if (std::strcmp(argv[a], "--trace-cache-budget") ==
+                   0) {
+            opts.traceCacheBudgetMiB = cli::parseUnsignedInRange(
+                want("--trace-cache-budget"), "--trace-cache-budget",
+                1, 16u * 1024 * 1024);
+        } else if (std::strcmp(argv[a], "--stream-chunk-refs") == 0) {
+            opts.streamChunkRefs = cli::parseUnsignedInRange(
+                want("--stream-chunk-refs"), "--stream-chunk-refs",
+                1, 1u << 31);
+        } else if (std::strcmp(argv[a], "--repo-stats") == 0) {
+            opts.repoStats = true;
         } else {
             std::cerr << "error: unknown flag '" << argv[a] << "'\n"
                       << "usage: bench_hotpath [--refs N] [--reps N] "
                          "[--out PATH] [--floor R] [--sweep] "
-                         "[--no-reserve]\n";
+                         "[--no-reserve] [--trace-cache-dir PATH] "
+                         "[--trace-cache-budget MiB] "
+                         "[--stream-chunk-refs N] [--repo-stats]\n";
             std::exit(2);
         }
     }
@@ -391,7 +417,9 @@ runSweepMode(const Options &opts)
 
     // Prepared pass from a cold repository: the decode split is the
     // one-time generate+prepare cost, the replay split is everything
-    // the campaign does on top of the shared prepared traces.
+    // the campaign does on top of the shared prepared traces.  With a
+    // trace cache directory the campaign instead streams out-of-core
+    // store files (warm files skip generate+prepare entirely).
     analysis::EvalOptions prepared;
     sim::TraceRepository &repo = sim::TraceRepository::global();
     repo.clear();
@@ -399,8 +427,13 @@ runSweepMode(const Options &opts)
     prep.blockBytes = prepared.sim.blockBytes;
     prep.domain = prepared.sim.domain;
     bench::WallTimer decodeTimer;
-    for (const gen::WorkloadConfig &cfg : cfgs)
-        repo.get(cfg, prep);
+    if (!opts.traceCacheDir.empty()) {
+        for (const gen::WorkloadConfig &cfg : cfgs)
+            repo.getStored(cfg, prep);
+    } else {
+        for (const gen::WorkloadConfig &cfg : cfgs)
+            repo.get(cfg, prep);
+    }
     const double decodeSeconds = decodeTimer.seconds();
     bench::WallTimer replayTimer;
     const unsigned preparedPoints = runCampaign(cfgs, prepared);
@@ -449,6 +482,9 @@ runSweepMode(const Options &opts)
         std::cout << "  floor check passed (" << speedup
                   << "x >= " << opts.floor << "x)\n";
     }
+    if (opts.repoStats)
+        std::cout << "  repo-stats: " << repo.stats().summary()
+                  << "\n";
     return 0;
 }
 
@@ -458,6 +494,14 @@ int
 main(int argc, char **argv)
 {
     const Options opts = parseOptions(argc, argv);
+    if (!opts.traceCacheDir.empty()) {
+        sim::DiskCacheConfig disk;
+        disk.dir = opts.traceCacheDir;
+        disk.budgetBytes = opts.traceCacheBudgetMiB * 1024 * 1024;
+        disk.chunkRefs = opts.streamChunkRefs;
+        sim::TraceRepository::global().setDiskCache(disk);
+        analysis::setDefaultStreamReplay(true);
+    }
     if (opts.sweep)
         return runSweepMode(opts);
 
@@ -528,5 +572,9 @@ main(int argc, char **argv)
                   << " >= " << static_cast<std::uint64_t>(opts.floor)
                   << " refs/sec)\n";
     }
+    if (opts.repoStats)
+        std::cout << "  repo-stats: "
+                  << sim::TraceRepository::global().stats().summary()
+                  << "\n";
     return 0;
 }

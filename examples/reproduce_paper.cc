@@ -12,9 +12,19 @@
  *   --jobs N fan simulation sweeps out over N worker threads
  *            (0 = one per hardware thread; default 1 = serial);
  *            parallel runs are bit-identical to serial ones
+ *   --trace-cache-dir PATH    persist prepared traces as out-of-core
+ *            store files under PATH and replay them streamed; a
+ *            second run (even in another process) reuses the files
+ *            and skips all generate/prepare work
+ *   --trace-cache-budget MiB  disk-cache byte budget (default 4096)
+ *   --stream-chunk-refs N     refs per streamed chunk (default
+ *            1048576; smaller = lower replay RSS)
+ *   --repo-stats   print trace-repository hit/miss/spill counters
+ *            at the end of the run
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +39,8 @@
 #include "analysis/system_perf.hh"
 #include "directory/storage.hh"
 #include "gen/workloads.hh"
+#include "sim/trace_repo.hh"
+#include "trace/store.hh"
 
 namespace
 {
@@ -56,18 +68,38 @@ main(int argc, char **argv)
 {
     bool full_size = false;
     unsigned jobs = 1;
+    std::string cacheDir;
+    std::uint64_t cacheBudgetMiB = 4096;
+    std::uint64_t streamChunkRefs = trace::kDefaultChunkRefs;
+    bool repoStats = false;
     outDir = "results";
+    const auto want = [&](int &a, const char *flag) -> const char * {
+        if (a + 1 >= argc) {
+            std::cerr << "error: " << flag << " requires a value\n";
+            std::exit(2);
+        }
+        return argv[++a];
+    };
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--full") == 0) {
             full_size = true;
         } else if (std::strcmp(argv[a], "--jobs") == 0) {
-            if (a + 1 >= argc) {
-                std::cerr << "error: --jobs requires a value\n";
-                return 2;
-            }
-            jobs = cli::parseUnsigned(argv[++a], "--jobs");
+            jobs = cli::parseUnsigned(want(a, "--jobs"), "--jobs");
         } else if (std::strncmp(argv[a], "--jobs=", 7) == 0) {
             jobs = cli::parseUnsigned(argv[a] + 7, "--jobs");
+        } else if (std::strcmp(argv[a], "--trace-cache-dir") == 0) {
+            cacheDir = want(a, "--trace-cache-dir");
+        } else if (std::strcmp(argv[a], "--trace-cache-budget") ==
+                   0) {
+            cacheBudgetMiB = cli::parseUnsignedInRange(
+                want(a, "--trace-cache-budget"),
+                "--trace-cache-budget", 1, 16u * 1024 * 1024);
+        } else if (std::strcmp(argv[a], "--stream-chunk-refs") == 0) {
+            streamChunkRefs = cli::parseUnsignedInRange(
+                want(a, "--stream-chunk-refs"), "--stream-chunk-refs",
+                1, 1u << 31);
+        } else if (std::strcmp(argv[a], "--repo-stats") == 0) {
+            repoStats = true;
         } else {
             outDir = argv[a];
         }
@@ -75,6 +107,19 @@ main(int argc, char **argv)
     // Every evaluation below (including the ones inside the extension
     // studies) picks this up and fans out over the sweep engine.
     analysis::setDefaultEvalJobs(jobs);
+    if (!cacheDir.empty()) {
+        sim::DiskCacheConfig disk;
+        disk.dir = cacheDir;
+        disk.budgetBytes = cacheBudgetMiB * 1024 * 1024;
+        disk.chunkRefs = streamChunkRefs;
+        sim::TraceRepository::global().setDiskCache(disk);
+        // Stream warm/spilled store files instead of materialising
+        // prepared traces; results are bit-identical either way.
+        analysis::setDefaultStreamReplay(true);
+        std::cout << "Trace cache: " << cacheDir << " (budget "
+                  << cacheBudgetMiB << " MiB, chunk "
+                  << streamChunkRefs << " refs)\n";
+    }
     std::filesystem::create_directories(outDir);
     std::cout << "Writing exhibits to " << outDir << "/ (sweep jobs: "
               << jobs << ") ...\n\n";
@@ -159,5 +204,9 @@ main(int argc, char **argv)
               << ".txt and .csv (" << wall_s << " s wall clock, "
               << jobs << " sweep job" << (jobs == 1 ? "" : "s")
               << ")\n";
+    if (repoStats)
+        std::cout << "Repo stats: "
+                  << sim::TraceRepository::global().stats().summary()
+                  << "\n";
     return 0;
 }

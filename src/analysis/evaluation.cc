@@ -23,6 +23,7 @@ namespace
 {
 
 unsigned defaultJobs = 1;
+bool defaultStream = false;
 
 } // namespace
 
@@ -36,6 +37,18 @@ unsigned
 defaultEvalJobs()
 {
     return defaultJobs;
+}
+
+void
+setDefaultStreamReplay(bool stream)
+{
+    defaultStream = stream;
+}
+
+bool
+defaultStreamReplay()
+{
+    return defaultStream;
 }
 
 namespace
@@ -153,7 +166,14 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
             sim::Simulator simulator(simConfigFor(cfgs[c], opts));
             for (const EngineFactory &factory : factories)
                 simulator.addEngine(factory(units));
-            if (opts.usePreparedTraces) {
+            if (opts.usePreparedTraces && opts.streamReplay) {
+                // Out-of-core: one chunk window resident per replay.
+                const auto stored =
+                    sim::TraceRepository::global().getStored(
+                        cfgs[c], prepareOptionsFor(opts));
+                const auto spans = stored->spanCursor();
+                simulator.run(*spans);
+            } else if (opts.usePreparedTraces) {
                 simulator.run(*sim::TraceRepository::global().get(
                     cfgs[c], prepareOptionsFor(opts)));
             } else {
@@ -170,7 +190,10 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
     // job.  On the prepared path the repository supplies decode-once
     // SoA traces (already cached across runs); the raw path
     // materialises throwaway MemoryTraces as before.
+    const bool stream = opts.usePreparedTraces && opts.streamReplay;
     std::vector<std::shared_ptr<const trace::PreparedTrace>> prepared(
+        cfgs.size());
+    std::vector<std::shared_ptr<const trace::StoredTrace>> stored(
         cfgs.size());
     std::vector<trace::MemoryTrace> traces(
         opts.usePreparedTraces ? 0 : cfgs.size());
@@ -182,7 +205,13 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             pool.submit([&, c] {
                 try {
-                    if (opts.usePreparedTraces) {
+                    if (stream) {
+                        auto ptr =
+                            sim::TraceRepository::global().getStored(
+                                cfgs[c], prepareOptionsFor(opts));
+                        std::lock_guard<std::mutex> lock(collect);
+                        stored[c] = std::move(ptr);
+                    } else if (opts.usePreparedTraces) {
                         auto ptr = sim::TraceRepository::global().get(
                             cfgs[c], prepareOptionsFor(opts));
                         std::lock_guard<std::mutex> lock(collect);
@@ -220,7 +249,14 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
                 engines.push_back(factory(units));
                 return engines;
             };
-            if (opts.usePreparedTraces) {
+            if (stream) {
+                // Each job builds its own windowed cursor over the
+                // shared store; concurrent cells replay the same file
+                // with one chunk resident per job.
+                point.spans = [st = stored[c]] {
+                    return st->spanCursor();
+                };
+            } else if (opts.usePreparedTraces) {
                 point.prepared = prepared[c];
             } else {
                 point.source = [trace = &traces[c],

@@ -67,6 +67,19 @@ void setDefaultEvalJobs(unsigned jobs);
 unsigned defaultEvalJobs();
 /** @} */
 
+/**
+ * @name Process-wide default for EvalOptions::streamReplay.
+ *
+ * Same pattern as setDefaultEvalJobs(): a driver that enables the
+ * out-of-core trace cache (e.g.\ from --trace-cache-dir) flips this
+ * once and every defaulted evaluation streams from disk.  Requires
+ * sim::TraceRepository::global() to have a configured disk tier.
+ * @{
+ */
+void setDefaultStreamReplay(bool stream);
+bool defaultStreamReplay();
+/** @} */
+
 /** Options for evaluation runs. */
 struct EvalOptions
 {
@@ -97,6 +110,18 @@ struct EvalOptions
      * A/B the raw path.
      */
     bool usePreparedTraces = true;
+    /**
+     * Replay each workload as an out-of-core StoredTrace via the
+     * repository's disk tier (sim::TraceRepository::getStored)
+     * instead of holding the prepared columns in memory: peak RSS per
+     * replay is one chunk window, and warm cache files carry the
+     * generate+decode work across processes.  Results are
+     * bit-identical to the in-memory prepared path (golden suite).
+     * Only meaningful with usePreparedTraces; requires the global
+     * repository's disk cache to be configured.  Initialised from
+     * defaultStreamReplay().
+     */
+    bool streamReplay = defaultStreamReplay();
     /**
      * Finite directory-entry cache applied to the directory-based
      * engines (inval and DiriNB; the snoopy engines have no directory

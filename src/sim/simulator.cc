@@ -135,4 +135,64 @@ Simulator::run(const trace::PreparedTrace &prepared)
     return prepared.totalRefs();
 }
 
+std::uint64_t
+Simulator::run(trace::PreparedSpanSource &spans)
+{
+    const trace::PrepareOptions &opts = spans.options();
+    if (opts.blockBytes != _cfg.blockBytes ||
+        opts.domain != _cfg.domain)
+        throw std::invalid_argument(
+            "Simulator: prepared stream '" + spans.name() +
+            "' was decoded for a different block size or sharing "
+            "domain than this simulator");
+
+    unsigned capacity = std::numeric_limits<unsigned>::max();
+    const coherence::CoherenceEngine *smallest = nullptr;
+    for (const auto &engine : _engines) {
+        if (engine->numUnits() < capacity) {
+            capacity = engine->numUnits();
+            smallest = engine.get();
+        }
+    }
+    if (spans.numUnits() > capacity)
+        throw std::runtime_error(
+            "Simulator: trace uses more sharing units than engine '" +
+            smallest->results().name + "' supports");
+
+    if (_cfg.expectedBlocks != 0) {
+        for (auto &engine : _engines)
+            engine->reserveBlocks(_cfg.expectedBlocks);
+    }
+    if (spans.numUnits() > _preparedUnits)
+        _preparedUnits = spans.numUnits();
+
+    // Bulk instruction counts are order-independent (they change no
+    // coherence state), so charging them up front keeps the span loop
+    // pure data replay — exactly what the contiguous path does.
+    if (spans.instrRefs() != 0) {
+        for (auto &engine : _engines)
+            engine->recordInstrs(spans.instrRefs());
+    }
+
+    spans.rewind();
+    trace::PreparedSpan span;
+    std::uint64_t data = 0;
+    while (spans.nextSpan(span)) {
+        if (span.n == 0)
+            continue;
+        const coherence::PreparedSlice slice{span.block, span.unit,
+                                             span.typeFlags, span.n};
+        for (auto &engine : _engines)
+            engine->accessPrepared(slice);
+        data += span.n;
+    }
+    if (data != spans.dataRefs())
+        throw std::runtime_error(
+            "Simulator: prepared stream '" + spans.name() +
+            "' yielded " + std::to_string(data) +
+            " data references but its summary declares " +
+            std::to_string(spans.dataRefs()));
+    return spans.instrRefs() + data;
+}
+
 } // namespace dirsim::sim

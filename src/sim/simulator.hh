@@ -92,6 +92,23 @@ class Simulator
      */
     std::uint64_t run(const trace::PreparedTrace &prepared);
 
+    /**
+     * Replay a prepared stream span by span: same decode-free hot
+     * loop as run(const PreparedTrace&), but the columns arrive as a
+     * PreparedSpan sequence, so the backing storage never needs to be
+     * contiguous — or even resident.  This is the out-of-core replay
+     * path (trace::StoredTrace::spanCursor()); engines are stateful
+     * across spans, so the result is bit-identical to replaying one
+     * contiguous trace.  The source is rewound before use.
+     *
+     * @return Number of references processed (instr + data).
+     * @throws std::invalid_argument / std::runtime_error exactly as
+     *         run(const PreparedTrace&); the geometry checks use the
+     *         source's stream summary, so a failed run mutates
+     *         nothing.
+     */
+    std::uint64_t run(trace::PreparedSpanSource &spans);
+
     const SimConfig &config() const { return _cfg; }
     std::size_t numEngines() const { return _engines.size(); }
     coherence::CoherenceEngine &engine(std::size_t i)

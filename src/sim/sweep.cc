@@ -17,10 +17,11 @@ SweepRunner::SweepRunner(unsigned jobs)
 std::size_t
 SweepRunner::add(SweepPoint point)
 {
-    if (!point.engines || (!point.source && !point.prepared))
+    if (!point.engines ||
+        (!point.source && !point.prepared && !point.spans))
         throw std::invalid_argument(
             "SweepRunner: point needs an engine factory and a source "
-            "factory or prepared trace");
+            "factory, prepared trace or span-source factory");
     _points.push_back(std::move(point));
     return _points.size() - 1;
 }
@@ -40,7 +41,10 @@ SweepRunner::run()
             Simulator simulator(point.sim);
             for (auto &engine : point.engines())
                 simulator.addEngine(std::move(engine));
-            if (point.prepared) {
+            if (point.spans) {
+                const auto spans = point.spans();
+                res.refs = simulator.run(*spans);
+            } else if (point.prepared) {
                 res.refs = simulator.run(*point.prepared);
             } else {
                 const auto source = point.source();

@@ -117,6 +117,16 @@ struct SweepPoint
      * When both are set, the prepared trace wins.
      */
     std::shared_ptr<const trace::PreparedTrace> prepared;
+
+    /**
+     * Builds a PreparedSpanSource to replay instead of @ref prepared
+     * or @ref source — the out-of-core path.  Invoked on the worker
+     * thread: each job gets its own cursor (cursors carry mutable
+     * window state), typically trace::StoredTrace::spanCursor() over
+     * a store shared by every point.  Takes precedence over both
+     * other stream fields.
+     */
+    std::function<std::unique_ptr<trace::PreparedSpanSource>()> spans;
 };
 
 /** Outcome of one SweepPoint. */

@@ -10,10 +10,11 @@ RequestPort::takeRef()
 {
     assert(hasMoreRefs());
     ++_stats.refs;
-    const std::size_t i = _next++;
-    return PortRef{_stream->unit[i],
-                   trace::packedRefType(_stream->typeFlags[i]),
-                   _stream->block[i]};
+    std::uint32_t block;
+    std::uint8_t unit;
+    std::uint8_t typeFlags;
+    _cursor->take(block, unit, typeFlags);
+    return PortRef{unit, trace::packedRefType(typeFlags), block};
 }
 
 void

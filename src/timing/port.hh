@@ -65,25 +65,26 @@ struct PortRef
 /**
  * One CPU's interface to the timed bus (see file header).
  *
- * The port *views* its stream as prepared SoA columns
- * (trace::PreparedCpuStream) rather than owning an array-of-structs
- * copy: the timed replay either borrows a slice of a shared
- * PreparedTrace directly, or TimedBusSim demuxes a raw source into
- * locally-owned columns of the same shape.  Either way the stream
- * must outlive the port.
+ * The port *reads* its stream through a trace::CpuRefCursor rather
+ * than owning an array-of-structs copy: the timed replay either walks
+ * a PreparedCpuStream borrowed from a shared PreparedTrace (or
+ * demuxed locally from a raw source), or streams a chunk window at a
+ * time out of a trace::StoredTrace — one virtual call per reference,
+ * noise next to the event loop around it.  The cursor must outlive
+ * the port.
  */
 class RequestPort
 {
   public:
-    RequestPort(unsigned cpu, const trace::PreparedCpuStream *stream)
-        : _cpu(cpu), _stream(stream)
+    RequestPort(unsigned cpu, trace::CpuRefCursor *cursor)
+        : _cpu(cpu), _cursor(cursor)
     {
     }
 
     unsigned cpu() const { return _cpu; }
 
-    /** References remain to execute. */
-    bool hasMoreRefs() const { return _next < _stream->size(); }
+    /** References remain to execute (may refill a file window). */
+    bool hasMoreRefs() { return !_cursor->atEnd(); }
 
     /** Consume the next reference (hasMoreRefs() must hold). */
     PortRef takeRef();
@@ -115,8 +116,7 @@ class RequestPort
 
   private:
     unsigned _cpu;
-    const trace::PreparedCpuStream *_stream;
-    std::size_t _next = 0;
+    trace::CpuRefCursor *_cursor;
 
     RefCharge _charge;
     unsigned _txnNext = 0;

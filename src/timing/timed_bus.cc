@@ -7,6 +7,7 @@
 #include "sim/unit_map.hh"
 #include "timing/event_queue.hh"
 #include "timing/transactions.hh"
+#include "trace/store.hh"
 
 namespace dirsim::timing
 {
@@ -125,10 +126,14 @@ TimedBusSim::run(trace::RefSource &source)
         }
     }
 
+    std::vector<trace::PreparedCpuStreamCursor> cursors;
+    cursors.reserve(streams.size());
+    for (const trace::PreparedCpuStream &stream : streams)
+        cursors.emplace_back(stream);
     std::vector<RequestPort> ports;
-    ports.reserve(streams.size());
-    for (unsigned cpu = 0; cpu < streams.size(); ++cpu)
-        ports.emplace_back(cpu, &streams[cpu]);
+    ports.reserve(cursors.size());
+    for (unsigned cpu = 0; cpu < cursors.size(); ++cpu)
+        ports.emplace_back(cpu, &cursors[cpu]);
     return runPorts(ports);
 }
 
@@ -153,10 +158,47 @@ TimedBusSim::run(const trace::PreparedTrace &prepared)
 
     const std::vector<trace::PreparedCpuStream> &streams =
         prepared.cpuStreams();
+    std::vector<trace::PreparedCpuStreamCursor> cursors;
+    cursors.reserve(streams.size());
+    for (const trace::PreparedCpuStream &stream : streams)
+        cursors.emplace_back(stream);
     std::vector<RequestPort> ports;
-    ports.reserve(streams.size());
-    for (unsigned cpu = 0; cpu < streams.size(); ++cpu)
-        ports.emplace_back(cpu, &streams[cpu]);
+    ports.reserve(cursors.size());
+    for (unsigned cpu = 0; cpu < cursors.size(); ++cpu)
+        ports.emplace_back(cpu, &cursors[cpu]);
+    return runPorts(ports);
+}
+
+TimedRun
+TimedBusSim::run(const trace::StoredTrace &stored)
+{
+    if (!stored.hasTimedStreams())
+        throw std::invalid_argument(
+            "TimedBusSim: stored trace '" + stored.name() +
+            "' was spilled without timed per-CPU streams");
+    const trace::PrepareOptions &opts = stored.options();
+    if (opts.blockBytes != _cfg.sim.blockBytes ||
+        opts.domain != _cfg.sim.domain)
+        throw std::invalid_argument(
+            "TimedBusSim: stored trace '" + stored.name() +
+            "' was decoded for a different block size or sharing "
+            "domain than this run");
+    if (stored.numUnits() > _engine->numUnits())
+        throw std::runtime_error(
+            "TimedBusSim: trace uses more sharing units than "
+            "engine '" + _engine->results().name + "' supports");
+
+    // One windowed file cursor per CPU; each keeps exactly one chunk
+    // of its stream resident, so a timed replay of an arbitrarily
+    // long store runs in O(nCpus × chunk) memory.
+    std::vector<std::unique_ptr<trace::CpuRefCursor>> cursors;
+    cursors.reserve(stored.numCpus());
+    for (unsigned cpu = 0; cpu < stored.numCpus(); ++cpu)
+        cursors.push_back(stored.cpuCursor(cpu));
+    std::vector<RequestPort> ports;
+    ports.reserve(cursors.size());
+    for (unsigned cpu = 0; cpu < cursors.size(); ++cpu)
+        ports.emplace_back(cpu, cursors[cpu].get());
     return runPorts(ports);
 }
 

@@ -153,6 +153,14 @@ class TimedBusSim
      */
     TimedRun run(const trace::PreparedTrace &prepared);
 
+    /**
+     * Replay a stored (out-of-core) trace spilled with timed per-CPU
+     * streams: each port streams its CPU's chunks through a windowed
+     * file cursor, so memory stays O(nCpus × chunk).  Bit-identical
+     * to run(const PreparedTrace&) over the same stream.
+     */
+    TimedRun run(const trace::StoredTrace &stored);
+
     const TimedBusConfig &config() const { return _cfg; }
 
   private:

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/hash.hh"
+
 namespace dirsim::trace
 {
 
@@ -16,23 +18,33 @@ namespace
 {
 
 constexpr std::array<char, 4> binaryMagic = {'D', 'S', 'T', 'R'};
-constexpr std::uint32_t binaryVersion = 1;
+constexpr std::uint32_t binaryVersion = 2;
+// Oldest version readBinary() still accepts: v1 files lack the digest
+// footer but are otherwise identical, so they stay readable.
+constexpr std::uint32_t binaryVersionMin = 1;
+/** Cap on the header name field.  A corrupt length would otherwise
+ *  turn into a multi-gigabyte resize before the truncation check. */
+constexpr std::uint32_t maxNameLen = 4096;
 
 template <typename T>
 void
-writeRaw(std::ostream &os, const T &value)
+writeRaw(std::ostream &os, const T &value, util::StreamHash64 *hash)
 {
     os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+    if (hash != nullptr)
+        hash->update(&value, sizeof(value));
 }
 
 template <typename T>
 T
-readRaw(std::istream &is)
+readRaw(std::istream &is, util::StreamHash64 *hash)
 {
     T value{};
     is.read(reinterpret_cast<char *>(&value), sizeof(value));
     if (!is)
         throw std::runtime_error("trace: truncated binary stream");
+    if (hash != nullptr)
+        hash->update(&value, sizeof(value));
     return value;
 }
 
@@ -89,26 +101,40 @@ checkField(long long value, std::uint64_t max, const char *field,
 void
 writeBinary(const MemoryTrace &trace, std::ostream &os)
 {
+    // The digest covers everything after the version field, so a v1
+    // reader meeting a v2 file (or vice versa) reports a version
+    // mismatch, never a digest one.
+    util::StreamHash64 digest;
     os.write(binaryMagic.data(), binaryMagic.size());
-    writeRaw(os, binaryVersion);
-    writeRaw(os, static_cast<std::uint32_t>(trace.meta().nCpus));
-    writeRaw(os, static_cast<std::uint32_t>(trace.meta().nProcesses));
+    writeRaw(os, binaryVersion, nullptr);
+    writeRaw(os, static_cast<std::uint32_t>(trace.meta().nCpus),
+             &digest);
+    writeRaw(os, static_cast<std::uint32_t>(trace.meta().nProcesses),
+             &digest);
     const std::string &name = trace.meta().name;
-    writeRaw(os, static_cast<std::uint32_t>(name.size()));
+    if (name.size() > maxNameLen)
+        throw std::runtime_error("trace: name longer than " +
+                                 std::to_string(maxNameLen) +
+                                 " bytes");
+    writeRaw(os, static_cast<std::uint32_t>(name.size()), &digest);
     os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    writeRaw(os, static_cast<std::uint64_t>(trace.meta().lockAddrs.size()));
+    digest.update(name.data(), name.size());
+    writeRaw(os, static_cast<std::uint64_t>(trace.meta().lockAddrs.size()),
+             &digest);
     for (std::uint64_t addr : trace.meta().lockAddrs)
-        writeRaw(os, addr);
-    writeRaw(os, static_cast<std::uint64_t>(trace.size()));
+        writeRaw(os, addr, &digest);
+    writeRaw(os, static_cast<std::uint64_t>(trace.size()), &digest);
     for (const TraceRecord &rec : trace.records()) {
-        writeRaw(os, rec.addr);
-        writeRaw(os, rec.pid);
-        writeRaw(os, rec.cpu);
-        writeRaw(os, static_cast<std::uint8_t>(rec.type));
-        writeRaw(os, rec.flags);
+        writeRaw(os, rec.addr, &digest);
+        writeRaw(os, rec.pid, &digest);
+        writeRaw(os, rec.cpu, &digest);
+        writeRaw(os, static_cast<std::uint8_t>(rec.type), &digest);
+        writeRaw(os, rec.flags, &digest);
         const std::array<char, 3> pad = {0, 0, 0};
         os.write(pad.data(), pad.size());
+        digest.update(pad.data(), pad.size());
     }
+    writeRaw(os, digest.value(), nullptr);
     if (!os)
         throw std::runtime_error("trace: binary write failed");
 }
@@ -120,24 +146,39 @@ readBinary(std::istream &is)
     is.read(magic.data(), magic.size());
     if (!is || magic != binaryMagic)
         throw std::runtime_error("trace: bad binary magic");
-    const auto version = readRaw<std::uint32_t>(is);
-    if (version != binaryVersion)
-        throw std::runtime_error("trace: unsupported binary version");
+    const auto version = readRaw<std::uint32_t>(is, nullptr);
+    if (version < binaryVersionMin || version > binaryVersion)
+        throw std::runtime_error(
+            "trace: unsupported binary version " +
+            std::to_string(version) + " (this build reads " +
+            std::to_string(binaryVersionMin) + "-" +
+            std::to_string(binaryVersion) + ")");
+    // v1 files predate the digest footer; everything else is shared.
+    util::StreamHash64 running;
+    util::StreamHash64 *digest = version >= 2 ? &running : nullptr;
 
     TraceMeta meta;
-    meta.nCpus = readRaw<std::uint32_t>(is);
-    meta.nProcesses = readRaw<std::uint32_t>(is);
-    const auto name_len = readRaw<std::uint32_t>(is);
+    meta.nCpus = readRaw<std::uint32_t>(is, digest);
+    meta.nProcesses = readRaw<std::uint32_t>(is, digest);
+    const auto name_len = readRaw<std::uint32_t>(is, digest);
+    if (name_len > maxNameLen)
+        throw std::runtime_error("trace: name length " +
+                                 std::to_string(name_len) +
+                                 " exceeds the " +
+                                 std::to_string(maxNameLen) +
+                                 "-byte cap");
     meta.name.resize(name_len);
     is.read(meta.name.data(), name_len);
     if (!is)
         throw std::runtime_error("trace: truncated binary stream");
-    const auto n_locks = readRaw<std::uint64_t>(is);
+    if (digest != nullptr)
+        digest->update(meta.name.data(), name_len);
+    const auto n_locks = readRaw<std::uint64_t>(is, digest);
     for (std::uint64_t i = 0; i < n_locks; ++i)
-        meta.lockAddrs.insert(readRaw<std::uint64_t>(is));
+        meta.lockAddrs.insert(readRaw<std::uint64_t>(is, digest));
 
     MemoryTrace trace(std::move(meta));
-    const auto n_records = readRaw<std::uint64_t>(is);
+    const auto n_records = readRaw<std::uint64_t>(is, digest);
     // Pre-size, but never trust a (possibly corrupt) record count
     // with an unbounded allocation: a truncated stream throws on the
     // first missing record anyway.
@@ -145,18 +186,36 @@ readBinary(std::istream &is)
         std::min<std::uint64_t>(n_records, 1u << 20)));
     for (std::uint64_t i = 0; i < n_records; ++i) {
         TraceRecord rec;
-        rec.addr = readRaw<std::uint64_t>(is);
-        rec.pid = readRaw<std::uint16_t>(is);
-        rec.cpu = readRaw<std::uint8_t>(is);
-        const auto type = readRaw<std::uint8_t>(is);
+        rec.addr = readRaw<std::uint64_t>(is, digest);
+        rec.pid = readRaw<std::uint16_t>(is, digest);
+        rec.cpu = readRaw<std::uint8_t>(is, digest);
+        const auto type = readRaw<std::uint8_t>(is, digest);
         if (type > static_cast<std::uint8_t>(RefType::Write))
             throw std::runtime_error("trace: bad reference type byte");
         rec.type = static_cast<RefType>(type);
-        rec.flags = readRaw<std::uint8_t>(is);
+        rec.flags = readRaw<std::uint8_t>(is, digest);
         std::array<char, 3> pad{};
         is.read(pad.data(), pad.size());
+        if (!is)
+            throw std::runtime_error("trace: truncated binary stream");
+        if (digest != nullptr)
+            digest->update(pad.data(), pad.size());
         trace.append(rec);
     }
+    if (digest != nullptr) {
+        const auto stored = readRaw<std::uint64_t>(is, nullptr);
+        if (stored != digest->value())
+            throw std::runtime_error(
+                "trace: binary stream digest mismatch (corrupt or "
+                "tampered file)");
+    }
+    // A well-formed stream ends exactly here; bytes past the last
+    // record (or footer) mean the header counts and the payload
+    // disagree.
+    if (is.peek() != std::istream::traits_type::eof())
+        throw std::runtime_error(
+            "trace: trailing bytes after binary stream");
+    is.clear();
     if (!is)
         throw std::runtime_error("trace: truncated binary stream");
     return trace;

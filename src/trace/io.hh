@@ -7,7 +7,16 @@
  *   magic "DSTR" | u32 version | u32 nCpus | u32 nProcesses |
  *   u32 nameLen | name bytes | u64 nLocks | nLocks * u64 lockAddr |
  *   u64 nRecords | nRecords * { u64 addr, u16 pid, u8 cpu, u8 type,
- *                               u8 flags, u8 pad[3] }
+ *                               u8 flags, u8 pad[3] } |
+ *   u64 digest (v2+)
+ *
+ * Version 2 appends a streaming-hash digest of every byte after the
+ * version field, so payload corruption that still parses (a flipped
+ * address bit, say) is caught; the reader also requires the stream to
+ * end exactly at the last record/footer and caps the name length at
+ * 4096 bytes before allocating.  Version 1 files (no footer) remain
+ * readable through a compat path with the same truncation and
+ * trailing-byte checks.
  *
  * Text format: one "# key value" header line per metadata field, then
  * one record per line: "<cpu> <pid> <I|R|W> <hex addr> <flags>".

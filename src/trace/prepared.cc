@@ -202,6 +202,25 @@ PreparedTrace::build(const MemoryTrace &trace,
     return builder.finish();
 }
 
+bool
+PreparedTraceSpans::nextSpan(PreparedSpan &span)
+{
+    const std::size_t total = _trace->dataRefs();
+    if (_done || (_pos >= total && total != 0))
+        return false;
+    const std::size_t n =
+        _window == 0 ? total
+                     : std::min(_window, total - _pos);
+    span.block = _trace->blockData() + _pos;
+    span.unit = _trace->unitData() + _pos;
+    span.typeFlags = _trace->typeFlagsData() + _pos;
+    span.n = n;
+    _pos += n;
+    // An empty trace yields exactly one empty span, then ends.
+    _done = total == 0 || _pos >= total;
+    return true;
+}
+
 std::size_t
 PreparedTrace::byteSize() const
 {

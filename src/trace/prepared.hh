@@ -84,6 +84,111 @@ static_assert(sizeof(std::uint32_t) == 4 && sizeof(std::uint8_t) == 1,
               "prepared SoA element widths are load-bearing");
 
 class PreparedTraceBuilder;
+class StoredTrace;
+
+/**
+ * One contiguous window of prepared data-reference columns: parallel
+ * arrays of block index, dense unit index and packed type+flags byte.
+ * The chunk-iterator replay path (sim::Simulator over a
+ * PreparedSpanSource) consumes a *sequence* of these instead of one
+ * trace-length slice, so the backing storage only ever needs to keep
+ * one window resident — the out-of-core store (trace/store.hh) serves
+ * spans straight out of a windowed file mapping.
+ */
+struct PreparedSpan
+{
+    const std::uint32_t *block = nullptr;
+    const std::uint8_t *unit = nullptr;
+    const std::uint8_t *typeFlags = nullptr;
+    std::size_t n = 0;
+};
+
+/**
+ * A forward iterator over the spans of one prepared reference stream,
+ * plus the stream-level summary replay drivers validate against.
+ *
+ * Contract: the concatenation of the spans nextSpan() yields, in
+ * order, is exactly the stream's data-reference columns; a span's
+ * pointers stay valid until the next nextSpan()/rewind() call (the
+ * out-of-core cursor recycles its window).  Engines are stateful
+ * across spans, so replaying a span sequence is bit-identical to
+ * replaying one contiguous slice — span boundaries are invisible to
+ * the coherence model.
+ */
+class PreparedSpanSource
+{
+  public:
+    virtual ~PreparedSpanSource() = default;
+
+    /** @name Stream summary (mirrors PreparedTrace's accessors). */
+    /** @{ */
+    virtual const std::string &name() const = 0;
+    virtual const PrepareOptions &options() const = 0;
+    virtual std::uint64_t instrRefs() const = 0;
+    virtual std::uint64_t dataRefs() const = 0;
+    virtual unsigned numUnits() const = 0;
+    virtual unsigned numCpus() const = 0;
+    std::uint64_t totalRefs() const { return instrRefs() + dataRefs(); }
+    /** @} */
+
+    /**
+     * Produce the next span.
+     * @retval true @p span was filled (n may legitimately be 0 only
+     *         for an empty stream's single span — sources never yield
+     *         empty spans between non-empty ones).
+     * @retval false End of stream; @p span is untouched.
+     */
+    virtual bool nextSpan(PreparedSpan &span) = 0;
+
+    /** Restart the span sequence from the beginning. */
+    virtual void rewind() = 0;
+};
+
+/**
+ * Sequential reader over one CPU's timed stream (instruction fetches
+ * included), the per-CPU analogue of PreparedSpanSource.  The timed
+ * bus replays one of these per port; atEnd() may do work (refill a
+ * file window), so it is deliberately non-const.
+ */
+class CpuRefCursor
+{
+  public:
+    virtual ~CpuRefCursor() = default;
+
+    /** The stream is exhausted (may refill an internal window). */
+    virtual bool atEnd() = 0;
+
+    /** Consume the next reference; atEnd() must have returned false. */
+    virtual void take(std::uint32_t &block, std::uint8_t &unit,
+                      std::uint8_t &typeFlags) = 0;
+};
+
+/** CpuRefCursor over an in-memory PreparedCpuStream. */
+class PreparedCpuStreamCursor final : public CpuRefCursor
+{
+  public:
+    /** @param stream Stream to walk; must outlive the cursor. */
+    explicit PreparedCpuStreamCursor(const PreparedCpuStream &stream)
+        : _stream(&stream)
+    {
+    }
+
+    bool atEnd() override { return _next >= _stream->size(); }
+
+    void
+    take(std::uint32_t &block, std::uint8_t &unit,
+         std::uint8_t &typeFlags) override
+    {
+        block = _stream->block[_next];
+        unit = _stream->unit[_next];
+        typeFlags = _stream->typeFlags[_next];
+        ++_next;
+    }
+
+  private:
+    const PreparedCpuStream *_stream;
+    std::size_t _next = 0;
+};
 
 /**
  * An immutable decoded trace.  Build one with build() (serial) or via
@@ -135,6 +240,7 @@ class PreparedTrace
 
   private:
     friend class PreparedTraceBuilder;
+    friend class StoredTrace; //!< Rebuilds a trace from disk columns.
     PreparedTrace() = default;
 
     std::string _name;
@@ -146,6 +252,53 @@ class PreparedTrace
     std::vector<std::uint8_t> _unit;
     std::vector<std::uint8_t> _typeFlags;
     std::vector<PreparedCpuStream> _cpuStreams;
+};
+
+/**
+ * PreparedSpanSource view of an in-memory PreparedTrace.
+ *
+ * With windowRefs == 0 the whole column set is one span (the shape
+ * Simulator::run(const PreparedTrace&) consumes); a non-zero window
+ * slices the same columns into consecutive spans of at most that many
+ * references.  The windowed form exists so tests can prove span
+ * boundaries are invisible to the engines without any file I/O, and
+ * so huge in-memory traces can exercise the exact code path the
+ * out-of-core store uses.
+ */
+class PreparedTraceSpans final : public PreparedSpanSource
+{
+  public:
+    /** @param trace Trace to view; must outlive the span source. */
+    explicit PreparedTraceSpans(const PreparedTrace &trace,
+                                std::size_t windowRefs = 0)
+        : _trace(&trace), _window(windowRefs)
+    {
+    }
+
+    const std::string &name() const override { return _trace->name(); }
+    const PrepareOptions &options() const override
+    {
+        return _trace->options();
+    }
+    std::uint64_t instrRefs() const override
+    {
+        return _trace->instrRefs();
+    }
+    std::uint64_t dataRefs() const override
+    {
+        return _trace->dataRefs();
+    }
+    unsigned numUnits() const override { return _trace->numUnits(); }
+    unsigned numCpus() const override { return _trace->numCpus(); }
+
+    bool nextSpan(PreparedSpan &span) override;
+    void rewind() override { _pos = 0; _done = false; }
+
+  private:
+    const PreparedTrace *_trace;
+    std::size_t _window;
+    std::size_t _pos = 0;
+    bool _done = false; //!< Empty traces still yield one empty span.
 };
 
 /**

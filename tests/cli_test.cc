@@ -79,6 +79,86 @@ TEST(ParseDoubleDeathTest, RejectsNonFiniteAndOverflow)
                 ::testing::ExitedWithCode(2), "invalid --floor");
 }
 
+/**
+ * The out-of-core trace knobs (--trace-cache-budget in MiB,
+ * --stream-chunk-refs) parse through the strict helpers with the
+ * exact ranges the binaries pass; pin the boundaries and the
+ * rejection of the classic fat-finger inputs.
+ */
+TEST(TraceCacheKnobs, BudgetBoundariesRoundTrip)
+{
+    EXPECT_EQ(cli::parseUnsignedInRange("1", "--trace-cache-budget",
+                                        1, 16u * 1024 * 1024),
+              1u);
+    EXPECT_EQ(cli::parseUnsignedInRange("4096", "--trace-cache-budget",
+                                        1, 16u * 1024 * 1024),
+              4096u);
+    EXPECT_EQ(cli::parseUnsignedInRange("16777216",
+                                        "--trace-cache-budget", 1,
+                                        16u * 1024 * 1024),
+              16777216u);
+}
+
+TEST(TraceCacheKnobsDeathTest, BudgetRejectsZeroNegativeAndUnits)
+{
+    EXPECT_EXIT(cli::parseUnsignedInRange("0", "--trace-cache-budget",
+                                          1, 16u * 1024 * 1024),
+                ::testing::ExitedWithCode(2),
+                "--trace-cache-budget must be in");
+    EXPECT_EXIT(cli::parseUnsignedInRange("16777217",
+                                          "--trace-cache-budget", 1,
+                                          16u * 1024 * 1024),
+                ::testing::ExitedWithCode(2),
+                "--trace-cache-budget must be in");
+    EXPECT_EXIT(cli::parseUnsignedInRange("-1", "--trace-cache-budget",
+                                          1, 16u * 1024 * 1024),
+                ::testing::ExitedWithCode(2),
+                "invalid --trace-cache-budget");
+    // "4G" style unit suffixes are not accepted — MiB only.
+    EXPECT_EXIT(cli::parseUnsignedInRange("4G", "--trace-cache-budget",
+                                          1, 16u * 1024 * 1024),
+                ::testing::ExitedWithCode(2),
+                "invalid --trace-cache-budget");
+}
+
+TEST(TraceCacheKnobs, ChunkRefsBoundariesRoundTrip)
+{
+    EXPECT_EQ(cli::parseUnsignedInRange("1", "--stream-chunk-refs", 1,
+                                        1u << 31),
+              1u);
+    EXPECT_EQ(cli::parseUnsignedInRange("1048576",
+                                        "--stream-chunk-refs", 1,
+                                        1u << 31),
+              1048576u);
+    EXPECT_EQ(cli::parseUnsignedInRange("2147483648",
+                                        "--stream-chunk-refs", 1,
+                                        1u << 31),
+              2147483648u);
+}
+
+TEST(TraceCacheKnobsDeathTest, ChunkRefsRejectsZeroAndOverflow)
+{
+    EXPECT_EXIT(cli::parseUnsignedInRange("0", "--stream-chunk-refs",
+                                          1, 1u << 31),
+                ::testing::ExitedWithCode(2),
+                "--stream-chunk-refs must be in");
+    EXPECT_EXIT(cli::parseUnsignedInRange("2147483649",
+                                          "--stream-chunk-refs", 1,
+                                          1u << 31),
+                ::testing::ExitedWithCode(2),
+                "--stream-chunk-refs must be in");
+    // 2^32 overflows parseUnsigned itself, not just the range check.
+    EXPECT_EXIT(cli::parseUnsignedInRange("4294967296",
+                                          "--stream-chunk-refs", 1,
+                                          1u << 31),
+                ::testing::ExitedWithCode(2),
+                "invalid --stream-chunk-refs");
+    EXPECT_EXIT(cli::parseUnsignedInRange("1e6", "--stream-chunk-refs",
+                                          1, 1u << 31),
+                ::testing::ExitedWithCode(2),
+                "invalid --stream-chunk-refs");
+}
+
 TEST(ParseDoubleDeathTest, RangeEnforced)
 {
     EXPECT_DOUBLE_EQ(

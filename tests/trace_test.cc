@@ -168,6 +168,100 @@ TEST(TraceIo, BinaryRejectsTruncation)
     EXPECT_THROW(readBinary(truncated), std::runtime_error);
 }
 
+TEST(TraceIo, BinaryRejectsPayloadCorruption)
+{
+    // Flip one byte of a record's address: the structure still
+    // parses, so only the digest footer can catch it.
+    const MemoryTrace trace = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinary(trace, buffer);
+    std::string bytes = buffer.str();
+    bytes[bytes.size() - 20] ^= 0x01;
+    std::stringstream corrupt(bytes);
+    try {
+        readBinary(corrupt);
+        FAIL() << "corrupt payload accepted";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("digest"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(TraceIo, BinaryRejectsTrailingBytes)
+{
+    const MemoryTrace trace = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinary(trace, buffer);
+    buffer << "junk";
+    try {
+        readBinary(buffer);
+        FAIL() << "trailing bytes accepted";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("trailing"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(TraceIo, BinaryReadsVersion1Files)
+{
+    // A v1 file is a v2 file minus the digest footer, with the
+    // version field saying 1; the compat path must still read it.
+    const MemoryTrace trace = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinary(trace, buffer);
+    std::string bytes = buffer.str();
+    bytes[4] = 1;
+    bytes.resize(bytes.size() - 8);
+    std::stringstream v1(bytes);
+    const MemoryTrace loaded = readBinary(v1);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(loaded[i], trace[i]) << "record " << i;
+}
+
+TEST(TraceIo, BinaryRejectsUnsupportedVersion)
+{
+    const MemoryTrace trace = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinary(trace, buffer);
+    std::string bytes = buffer.str();
+    bytes[4] = 3;
+    std::stringstream v3(bytes);
+    try {
+        readBinary(v3);
+        FAIL() << "future version accepted";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("version 3"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(TraceIo, BinaryRejectsOversizedNameLength)
+{
+    // Patch the name-length field to a multi-gigabyte claim; the cap
+    // must reject it before any allocation, not after.
+    const MemoryTrace trace = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinary(trace, buffer);
+    std::string bytes = buffer.str();
+    bytes[16] = static_cast<char>(0xff);
+    bytes[17] = static_cast<char>(0xff);
+    bytes[18] = static_cast<char>(0xff);
+    bytes[19] = static_cast<char>(0x7f);
+    std::stringstream bad(bytes);
+    try {
+        readBinary(bad);
+        FAIL() << "oversized name length accepted";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("name length"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
 TEST(TraceIo, TextRejectsBadType)
 {
     std::stringstream buffer;
