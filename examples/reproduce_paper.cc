@@ -21,6 +21,9 @@
  *            1048576; smaller = lower replay RSS)
  *   --repo-stats   print trace-repository hit/miss/spill counters
  *            at the end of the run
+ *   --no-fused     replay each scheme in its own sequential pass
+ *            instead of the fused multi-scheme column walk (A/B
+ *            hatch; exhibits are bit-identical either way)
  */
 
 #include <chrono>
@@ -100,6 +103,11 @@ main(int argc, char **argv)
                 1, 1u << 31);
         } else if (std::strcmp(argv[a], "--repo-stats") == 0) {
             repoStats = true;
+        } else if (std::strcmp(argv[a], "--no-fused") == 0) {
+            // A/B escape hatch: sequential whole-stream replay per
+            // engine instead of the fused multi-scheme column walk.
+            // Results are bit-identical either way.
+            analysis::setDefaultFusedReplay(false);
         } else {
             outDir = argv[a];
         }

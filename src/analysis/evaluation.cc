@@ -24,6 +24,7 @@ namespace
 
 unsigned defaultJobs = 1;
 bool defaultStream = false;
+bool defaultFused = true;
 
 } // namespace
 
@@ -51,6 +52,18 @@ defaultStreamReplay()
     return defaultStream;
 }
 
+void
+setDefaultFusedReplay(bool fused)
+{
+    defaultFused = fused;
+}
+
+bool
+defaultFusedReplay()
+{
+    return defaultFused;
+}
+
 namespace
 {
 
@@ -72,6 +85,9 @@ simConfigFor(const gen::WorkloadConfig &cfg, const EvalOptions &opts)
     sim::SimConfig sc = opts.sim;
     if (sc.expectedBlocks == 0)
         sc.expectedBlocks = gen::expectedUniqueBlocks(cfg.space);
+    // The A/B hatch: sequential whole-stream passes per engine.
+    if (!opts.fusedReplay)
+        sc.replayStripRefs = 0;
     return sc;
 }
 
@@ -242,6 +258,11 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
             sim::SweepPoint point;
             point.name = cfgs[c].name;
             point.sim = simConfigFor(cfgs[c], opts);
+            // Fuse the scheme axis: all of a workload's cells carry
+            // one key (unique per index — names can repeat), so the
+            // runner collapses them into a single fused column pass.
+            if (opts.fusedReplay)
+                point.fuseKey = "workload#" + std::to_string(c);
             point.engines = [&factory, units] {
                 std::vector<
                     std::unique_ptr<coherence::CoherenceEngine>>

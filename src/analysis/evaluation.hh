@@ -80,6 +80,18 @@ void setDefaultStreamReplay(bool stream);
 bool defaultStreamReplay();
 /** @} */
 
+/**
+ * @name Process-wide default for EvalOptions::fusedReplay.
+ *
+ * Same pattern again: the A/B escape hatch (--no-fused on the
+ * drivers) flips this once to make every defaulted evaluation replay
+ * engines sequentially, pre-fusion style, for comparison runs.
+ * @{
+ */
+void setDefaultFusedReplay(bool fused);
+bool defaultFusedReplay();
+/** @} */
+
 /** Options for evaluation runs. */
 struct EvalOptions
 {
@@ -122,6 +134,16 @@ struct EvalOptions
      * defaultStreamReplay().
      */
     bool streamReplay = defaultStreamReplay();
+    /**
+     * Fused multi-scheme replay (sim/fused_replay.hh): one strip-
+     * mined pass over each workload's prepared columns drives every
+     * engine of the run, and parallel runs group the scheme axis by
+     * workload so each SweepRunner job fuses all of a workload's
+     * engines.  Bit-identical to sequential replay (golden suite);
+     * the flag exists as the A/B escape hatch.  Initialised from
+     * defaultFusedReplay() (true unless a driver lowered it).
+     */
+    bool fusedReplay = defaultFusedReplay();
     /**
      * Finite directory-entry cache applied to the directory-based
      * engines (inval and DiriNB; the snoopy engines have no directory

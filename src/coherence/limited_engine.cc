@@ -1,6 +1,9 @@
 #include "coherence/limited_engine.hh"
 
+#include "coherence/prepared_loop.hh"
+
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -19,6 +22,11 @@ LimitedEngine::LimitedEngine(unsigned nUnits, unsigned nPointers,
             "LimitedEngine: Dir0NB makes no sense (no way to obtain "
             "exclusive access)");
     _nPointers = std::min(nPointers, nUnits);
+    if (_nPointers > 8)
+        throw std::invalid_argument(
+            "LimitedEngine: at most 8 pointers (the paper's no-"
+            "broadcast sweep tops out at Dir8NB; the bound keeps the "
+            "per-block fill queue inline)");
     _results.name = "dir" + std::to_string(_nPointers) + "nb";
     if (dirCache.enabled)
         _dirCache =
@@ -39,9 +47,7 @@ LimitedEngine::reset()
 bool
 LimitedEngine::holds(const BlockState &st, unsigned unit) const
 {
-    return std::find(st.holders.begin(), st.holders.end(),
-                     static_cast<std::uint8_t>(unit)) !=
-           st.holders.end();
+    return (st.mask >> unit) & 1;
 }
 
 void
@@ -71,11 +77,22 @@ LimitedEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 void
 LimitedEngine::accessPrepared(const PreparedSlice &slice)
 {
-    // The class is final, so these calls devirtualise and inline.
-    for (std::size_t i = 0; i < slice.n; ++i)
-        access(slice.unit[i],
-               trace::packedRefType(slice.typeFlags[i]),
-               slice.block[i]);
+    // Strip-mined dispatch: the type lane is pre-decoded per strip
+    // and the block-table probe prefetched ahead (prepared_loop.hh).
+    // The class is final, so the access() call devirtualises and
+    // inlines into the strip loop.
+    const auto dispatch =
+        [this](unsigned unit, trace::RefType type, mem::BlockId block) {
+            access(unit, type, block);
+        };
+    if (_blocks.prefetchProfitable()) {
+        forEachPreparedRef(
+            slice,
+            [this](mem::BlockId block) { _blocks.prefetch(block); },
+            dispatch);
+    } else {
+        forEachPreparedRef(slice, dispatch);
+    }
 }
 
 void
@@ -102,13 +119,14 @@ LimitedEngine::touchDirCache(mem::BlockId block)
     // the current block across this call.
     BlockState *victim = _blocks.find(touch.victim);
     assert(victim && "dir-cache victim must be tracked");
-    _results.dirCacheEvictionInvals += victim->holders.size();
+    _results.dirCacheEvictionInvals += std::popcount(victim->mask);
     if (victim->owner >= 0) {
         // The sole dirty copy is flushed to memory before it dies.
         victim->owner = -1;
         ++_results.dirCacheEvictionWriteBacks;
     }
-    victim->holders.clear();
+    victim->mask = 0;
+    victim->fillq = 0;
 }
 
 void
@@ -131,24 +149,30 @@ LimitedEngine::handleRead(unsigned unit, mem::BlockId block,
         _results.events.record(Event::RmBlkDrty);
         st.owner = -1;
         if (_nPointers == 1) {
-            st.holders.clear();
+            st.mask = 0;
+            st.fillq = 0;
             // The forced removal of the ex-owner's copy is part of
             // the miss service, not an extra displacement.
         }
-    } else if (!st.holders.empty()) {
+    } else if (st.mask != 0) {
         _results.events.record(Event::RmBlkCln);
     } else {
         _results.events.record(Event::RmMemory);
     }
 
-    if (st.holders.size() == 1)
+    unsigned nHolders = std::popcount(st.mask);
+    if (nHolders == 1)
         ++_results.holderGrowth12;
-    st.holders.push_back(static_cast<std::uint8_t>(unit));
-    if (st.holders.size() > _nPointers) {
-        // Displace the oldest holder to free a pointer.
-        st.holders.erase(st.holders.begin());
+    if (nHolders == _nPointers) {
+        // Displace the oldest holder (the queue's low byte) to free
+        // a pointer for the new copy.
+        st.mask &= ~(std::uint64_t(1) << (st.fillq & 0xff));
+        st.fillq >>= 8;
+        --nHolders;
         ++_results.displacementInvals;
     }
+    st.mask |= std::uint64_t(1) << unit;
+    st.fillq |= std::uint64_t(unit) << (8 * nHolders);
 }
 
 void
@@ -166,7 +190,7 @@ LimitedEngine::handleWrite(unsigned unit, mem::BlockId block,
     if (holds(st, unit)) {
         assert(st.owner < 0);
         const unsigned fanout =
-            static_cast<unsigned>(st.holders.size()) - 1;
+            std::popcount(st.mask) - 1u;
         _results.events.record(fanout == 0 ? Event::WhBlkClnExcl
                                            : Event::WhBlkClnShared);
         _results.whClnFanout.sample(fanout);
@@ -175,16 +199,16 @@ LimitedEngine::handleWrite(unsigned unit, mem::BlockId block,
         _results.events.record(Event::WmFirstRef);
     } else if (st.owner >= 0) {
         _results.events.record(Event::WmBlkDrty);
-    } else if (!st.holders.empty()) {
+    } else if (st.mask != 0) {
         _results.events.record(Event::WmBlkCln);
         _results.wmClnFanout.sample(
-            static_cast<unsigned>(st.holders.size()));
+            static_cast<unsigned>(std::popcount(st.mask)));
     } else {
         _results.events.record(Event::WmMemory);
     }
 
-    st.holders.clear();
-    st.holders.push_back(static_cast<std::uint8_t>(unit));
+    st.mask = std::uint64_t(1) << unit;
+    st.fillq = unit;
     st.owner = static_cast<std::int16_t>(unit);
 }
 

@@ -18,8 +18,8 @@
 #ifndef DIRSIM_COHERENCE_LIMITED_ENGINE_HH
 #define DIRSIM_COHERENCE_LIMITED_ENGINE_HH
 
+#include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "coherence/engine.hh"
 #include "directory/dir_cache.hh"
@@ -34,7 +34,11 @@ class LimitedEngine final : public CoherenceEngine
   public:
     /**
      * @param nUnits Number of caches.
-     * @param nPointers The i of DiriNB; 1 <= i <= nUnits.
+     * @param nPointers The i of DiriNB; 1 <= i <= nUnits, and at
+     *        most 8 after clamping to nUnits — the paper's no-
+     *        broadcast sweep tops out at Dir8NB, and the bound keeps
+     *        every block's fill-order queue inline in one 64-bit
+     *        word (see BlockState::fillq).
      * @param dirCache Optional finite directory-entry cache; the
      *        default (disabled) keeps an entry per block.
      */
@@ -70,8 +74,21 @@ class LimitedEngine final : public CoherenceEngine
   private:
     struct BlockState
     {
-        /** Holders in fill order (oldest first); size <= i. */
-        std::vector<std::uint8_t> holders;
+        /**
+         * Holder membership, one bit per unit (the constructor caps
+         * units at 64), giving the hot-path holds() test a single
+         * mask probe with no heap indirection.  The holder count is
+         * popcount(mask).
+         */
+        std::uint64_t mask = 0;
+        /**
+         * The same holders as a byte queue in fill order, oldest in
+         * the low byte (hence <= 8 pointers): pushing is an OR at
+         * byte popcount(mask), displacing the oldest is a right
+         * shift.  Keeping the queue inline means a block's whole
+         * directory state is one cache line with no heap spill.
+         */
+        std::uint64_t fillq = 0;
         std::int16_t owner = -1;
         bool referenced = false;
     };

@@ -1,5 +1,7 @@
 #include "coherence/wti_engine.hh"
 
+#include "coherence/prepared_loop.hh"
+
 #include <cassert>
 #include <stdexcept>
 
@@ -61,11 +63,22 @@ WtiEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 void
 WtiEngine::accessPrepared(const PreparedSlice &slice)
 {
-    // The class is final, so these calls devirtualise and inline.
-    for (std::size_t i = 0; i < slice.n; ++i)
-        access(slice.unit[i],
-               trace::packedRefType(slice.typeFlags[i]),
-               slice.block[i]);
+    // Strip-mined dispatch: the type lane is pre-decoded per strip
+    // and the block-table probe prefetched ahead (prepared_loop.hh).
+    // The class is final, so the access() call devirtualises and
+    // inlines into the strip loop.
+    const auto dispatch =
+        [this](unsigned unit, trace::RefType type, mem::BlockId block) {
+            access(unit, type, block);
+        };
+    if (_blocks.prefetchProfitable()) {
+        forEachPreparedRef(
+            slice,
+            [this](mem::BlockId block) { _blocks.prefetch(block); },
+            dispatch);
+    } else {
+        forEachPreparedRef(slice, dispatch);
+    }
 }
 
 void

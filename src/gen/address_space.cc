@@ -1,109 +1,7 @@
 #include "gen/address_space.hh"
 
-#include <algorithm>
-
 namespace dirsim::gen
 {
-
-std::uint64_t
-AddressSpace::codeAddr(unsigned pid, std::uint64_t block) const
-{
-    return codeBase + pid * perProcStride +
-           (block % _cfg.codeBlocksPerProc) * _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::privateAddr(unsigned pid, Rng &rng) const
-{
-    const std::uint64_t base = privateBase + pid * perProcStride;
-    std::uint64_t block;
-    if (rng.chance(_cfg.privateHotFrac))
-        block = rng.nextBelow(_cfg.privateHotBlocks);
-    else
-        block = rng.nextBelow(_cfg.privateBlocksPerProc);
-    // Random word within the block so word-level addresses vary.
-    return base + block * _cfg.blockBytes +
-           rng.nextBelow(_cfg.blockBytes / _cfg.wordBytes) *
-               _cfg.wordBytes;
-}
-
-std::uint64_t
-AddressSpace::sharedReadAddr(Rng &rng) const
-{
-    const std::uint64_t block = rng.nextBelow(_cfg.sharedReadBlocks);
-    return sharedReadBase + block * _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::sharedWriteAddr(Rng &rng) const
-{
-    const std::uint64_t block = rng.nextBelow(_cfg.sharedWriteBlocks);
-    return sharedWriteBase + block * _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::sharedWriteOwnAddr(unsigned pid, Rng &rng) const
-{
-    // Slots are partitioned round-robin across producers.
-    const std::uint32_t per_proc =
-        std::max(1u, _cfg.sharedWriteBlocks / _cfg.nProcesses);
-    const std::uint64_t k = rng.nextBelow(per_proc);
-    const std::uint64_t block =
-        (k * _cfg.nProcesses + pid) % _cfg.sharedWriteBlocks;
-    return sharedWriteBase + block * _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::migratoryAddr(std::uint32_t obj,
-                            std::uint32_t blockIdx) const
-{
-    return migratoryBase +
-           (static_cast<std::uint64_t>(obj) *
-                _cfg.blocksPerMigratoryObject +
-            blockIdx % _cfg.blocksPerMigratoryObject) *
-               _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::lockAddr(std::uint32_t lock) const
-{
-    if (_cfg.falseSharingLocks) {
-        // Two lock words share one block.
-        return lockBase + (lock / 2) * _cfg.blockBytes +
-               (lock % 2) * _cfg.wordBytes;
-    }
-    return lockBase + static_cast<std::uint64_t>(lock) * _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::protectedAddr(std::uint32_t lock, Rng &rng) const
-{
-    const std::uint64_t block =
-        static_cast<std::uint64_t>(lock) * _cfg.protectedBlocksPerLock +
-        rng.nextBelow(_cfg.protectedBlocksPerLock);
-    return protectedBase + block * _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::osCodeAddr(Rng &rng) const
-{
-    return osCodeBase + rng.nextBelow(_cfg.osCodeBlocks) *
-                            _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::osSharedAddr(Rng &rng) const
-{
-    return osSharedBase + rng.nextBelow(_cfg.osSharedBlocks) *
-                              _cfg.blockBytes;
-}
-
-std::uint64_t
-AddressSpace::osPerCpuAddr(unsigned cpu, Rng &rng) const
-{
-    return osPerCpuBase + cpu * perCpuStride +
-           rng.nextBelow(_cfg.osPerCpuBlocks) * _cfg.blockBytes;
-}
 
 std::uint64_t
 expectedUniqueBlocks(const AddressSpaceConfig &cfg)

@@ -15,6 +15,7 @@
 #ifndef DIRSIM_GEN_ADDRESS_SPACE_HH
 #define DIRSIM_GEN_ADDRESS_SPACE_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "gen/rng.hh"
@@ -59,7 +60,14 @@ struct AddressSpaceConfig
  */
 std::uint64_t expectedUniqueBlocks(const AddressSpaceConfig &cfg);
 
-/** Computes concrete byte addresses for every region. */
+/**
+ * Computes concrete byte addresses for every region.
+ *
+ * The samplers are defined inline: generation calls one per emitted
+ * data reference, and each is a couple of multiply-adds around an Rng
+ * draw — exactly the shape that wants to fold into the process
+ * engines' step functions.
+ */
 class AddressSpace
 {
   public:
@@ -68,32 +76,102 @@ class AddressSpace
     const AddressSpaceConfig &config() const { return _cfg; }
 
     /** Instruction address for code offset @p block of @p pid. */
-    std::uint64_t codeAddr(unsigned pid, std::uint64_t block) const;
+    std::uint64_t codeAddr(unsigned pid, std::uint64_t block) const
+    {
+        return codeBase + pid * perProcStride +
+               (block % _cfg.codeBlocksPerProc) * _cfg.blockBytes;
+    }
     /** Number of code blocks per process. */
     std::uint64_t codeBlocks() const { return _cfg.codeBlocksPerProc; }
 
     /** Random private-data address for @p pid (hot/cold biased). */
-    std::uint64_t privateAddr(unsigned pid, Rng &rng) const;
+    std::uint64_t privateAddr(unsigned pid, Rng &rng) const
+    {
+        const std::uint64_t base = privateBase + pid * perProcStride;
+        std::uint64_t block;
+        if (rng.chance(_cfg.privateHotFrac))
+            block = rng.nextBelow(_cfg.privateHotBlocks);
+        else
+            block = rng.nextBelow(_cfg.privateBlocksPerProc);
+        // Random word within the block so word-level addresses vary.
+        return base + block * _cfg.blockBytes +
+               rng.nextBelow(_cfg.blockBytes / _cfg.wordBytes) *
+                   _cfg.wordBytes;
+    }
     /** Random shared read-mostly address. */
-    std::uint64_t sharedReadAddr(Rng &rng) const;
+    std::uint64_t sharedReadAddr(Rng &rng) const
+    {
+        const std::uint64_t block =
+            rng.nextBelow(_cfg.sharedReadBlocks);
+        return sharedReadBase + block * _cfg.blockBytes;
+    }
     /** Random write-first shared slot address (any producer's). */
-    std::uint64_t sharedWriteAddr(Rng &rng) const;
+    std::uint64_t sharedWriteAddr(Rng &rng) const
+    {
+        const std::uint64_t block =
+            rng.nextBelow(_cfg.sharedWriteBlocks);
+        return sharedWriteBase + block * _cfg.blockBytes;
+    }
     /** Random slot owned (produced) by @p pid. */
-    std::uint64_t sharedWriteOwnAddr(unsigned pid, Rng &rng) const;
+    std::uint64_t sharedWriteOwnAddr(unsigned pid, Rng &rng) const
+    {
+        // Slots are partitioned round-robin across producers.
+        const std::uint32_t per_proc = std::max(
+            1u, _cfg.sharedWriteBlocks / _cfg.nProcesses);
+        const std::uint64_t k = rng.nextBelow(per_proc);
+        const std::uint64_t block =
+            (k * _cfg.nProcesses + pid) % _cfg.sharedWriteBlocks;
+        return sharedWriteBase + block * _cfg.blockBytes;
+    }
     /** Address of block @p blockIdx within migratory object @p obj. */
     std::uint64_t migratoryAddr(std::uint32_t obj,
-                                std::uint32_t blockIdx) const;
+                                std::uint32_t blockIdx) const
+    {
+        return migratoryBase +
+               (static_cast<std::uint64_t>(obj) *
+                    _cfg.blocksPerMigratoryObject +
+                blockIdx % _cfg.blocksPerMigratoryObject) *
+                   _cfg.blockBytes;
+    }
     /** Address of lock word @p lock. */
-    std::uint64_t lockAddr(std::uint32_t lock) const;
+    std::uint64_t lockAddr(std::uint32_t lock) const
+    {
+        if (_cfg.falseSharingLocks) {
+            // Two lock words share one block.
+            return lockBase + (lock / 2) * _cfg.blockBytes +
+                   (lock % 2) * _cfg.wordBytes;
+        }
+        return lockBase +
+               static_cast<std::uint64_t>(lock) * _cfg.blockBytes;
+    }
     /** Random address within the data protected by @p lock. */
-    std::uint64_t protectedAddr(std::uint32_t lock, Rng &rng) const;
+    std::uint64_t protectedAddr(std::uint32_t lock, Rng &rng) const
+    {
+        const std::uint64_t block =
+            static_cast<std::uint64_t>(lock) *
+                _cfg.protectedBlocksPerLock +
+            rng.nextBelow(_cfg.protectedBlocksPerLock);
+        return protectedBase + block * _cfg.blockBytes;
+    }
 
     /** OS instruction address. */
-    std::uint64_t osCodeAddr(Rng &rng) const;
+    std::uint64_t osCodeAddr(Rng &rng) const
+    {
+        return osCodeBase +
+               rng.nextBelow(_cfg.osCodeBlocks) * _cfg.blockBytes;
+    }
     /** Random OS data address shared between CPUs. */
-    std::uint64_t osSharedAddr(Rng &rng) const;
+    std::uint64_t osSharedAddr(Rng &rng) const
+    {
+        return osSharedBase +
+               rng.nextBelow(_cfg.osSharedBlocks) * _cfg.blockBytes;
+    }
     /** Random OS data address private to @p cpu. */
-    std::uint64_t osPerCpuAddr(unsigned cpu, Rng &rng) const;
+    std::uint64_t osPerCpuAddr(unsigned cpu, Rng &rng) const
+    {
+        return osPerCpuBase + cpu * perCpuStride +
+               rng.nextBelow(_cfg.osPerCpuBlocks) * _cfg.blockBytes;
+    }
 
   private:
     // Region bases; generously spaced so regions never collide for any

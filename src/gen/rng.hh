@@ -5,6 +5,11 @@
  * xoshiro256** seeded through splitmix64.  A self-contained generator
  * (rather than <random> engines) keeps trace generation bit-identical
  * across standard libraries, which the test suite relies on.
+ *
+ * Header-only: generation draws several values per emitted reference,
+ * so the samplers must inline into the process engines' step
+ * functions — an out-of-line call per draw is measurable across a
+ * multi-million-reference trace.
  */
 
 #ifndef DIRSIM_GEN_RNG_HH
@@ -13,7 +18,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
 
 namespace dirsim::gen
 {
@@ -23,31 +28,109 @@ class Rng
 {
   public:
     /** Seed deterministically from a 64-bit value. */
-    explicit Rng(std::uint64_t seed = 0x5eed);
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : _state)
+            word = splitmix64(sm);
+    }
 
     /** Next raw 64-bit value. */
-    std::uint64_t nextU64();
+    std::uint64_t nextU64()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        // 53 high-quality bits -> [0, 1).
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
     /** Uniform integer in [0, bound); bound must be nonzero. */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t nextBelow(std::uint64_t bound)
+    {
+        // Multiply-shift bounded sampling; bias is negligible for the
+        // bounds used here (all far below 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(nextU64()) * bound) >> 64);
+    }
+
     /** Bernoulli trial with probability @p p. */
-    bool chance(double p);
+    bool chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
+
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + nextBelow(hi - lo + 1);
+    }
+
     /**
      * Sample an index with probability proportional to @p weights.
      * Returns weights.size()-1 on accumulated rounding error; at least
-     * one weight must be positive.
+     * one weight must be positive.  Takes the weights as an
+     * initializer list so the per-reference category draw in the
+     * process engines never touches the heap.
      */
-    std::size_t pickWeighted(const std::vector<double> &weights);
+    std::size_t pickWeighted(std::initializer_list<double> weights)
+    {
+        const double *w = weights.begin();
+        const std::size_t n = weights.size();
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            total += w[i];
+        double roll = nextDouble() * total;
+        for (std::size_t i = 0; i < n; ++i) {
+            roll -= w[i];
+            if (roll < 0.0)
+                return i;
+        }
+        return n - 1;
+    }
+
     /**
      * Geometric-like burst length: number of successes before failure
      * with continue-probability @p p, clamped to [1, cap].
      */
-    std::uint64_t burstLength(double p, std::uint64_t cap);
+    std::uint64_t burstLength(double p, std::uint64_t cap)
+    {
+        std::uint64_t len = 1;
+        while (len < cap && chance(p))
+            ++len;
+        return len;
+    }
 
   private:
+    static std::uint64_t splitmix64(std::uint64_t &state)
+    {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> _state;
 };
 

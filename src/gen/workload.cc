@@ -79,7 +79,9 @@ WorkloadSource::next(trace::TraceRecord &record)
         return false;
 
     const unsigned cpu = _nextCpu;
-    _nextCpu = (_nextCpu + 1) % _cfg.space.nCpus;
+    // Wrap without the integer division a modulo would cost per ref.
+    if (++_nextCpu == _cfg.space.nCpus)
+        _nextCpu = 0;
 
     record = _processes[_procOnCpu[cpu]]->step(cpu);
     ++_emitted;
@@ -107,7 +109,12 @@ generateTrace(const WorkloadConfig &cfg)
     WorkloadSource source(cfg);
     trace::MemoryTrace trace(source.meta());
     trace.reserve(cfg.totalRefs);
-    trace.fillFrom(source);
+    // Direct loop over the concrete (final) source: next() and the
+    // process-engine step chain inline, where fillFrom()'s RefSource
+    // indirection would cost a virtual dispatch per record.
+    trace::TraceRecord record;
+    while (source.next(record))
+        trace.append(record);
     return trace;
 }
 

@@ -51,7 +51,7 @@ struct WorkloadConfig
 };
 
 /** Generates the reference stream for a WorkloadConfig. */
-class WorkloadSource : public trace::RefSource
+class WorkloadSource final : public trace::RefSource
 {
   public:
     explicit WorkloadSource(WorkloadConfig cfg);

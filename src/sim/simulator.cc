@@ -124,15 +124,10 @@ Simulator::run(const trace::PreparedTrace &prepared)
     if (prepared.numUnits() > _preparedUnits)
         _preparedUnits = prepared.numUnits();
 
-    const coherence::PreparedSlice slice{
-        prepared.blockData(), prepared.unitData(),
-        prepared.typeFlagsData(), prepared.dataRefs()};
-    for (auto &engine : _engines) {
-        if (prepared.instrRefs() != 0)
-            engine->recordInstrs(prepared.instrRefs());
-        engine->accessPrepared(slice);
-    }
-    return prepared.totalRefs();
+    trace::PreparedTraceSpans spans(prepared);
+    FusedReplay replay(
+        FusedReplayOptions{.stripRefs = _cfg.replayStripRefs});
+    return replay.run(spans, enginePointers()).totalRefs();
 }
 
 std::uint64_t
@@ -166,33 +161,19 @@ Simulator::run(trace::PreparedSpanSource &spans)
     if (spans.numUnits() > _preparedUnits)
         _preparedUnits = spans.numUnits();
 
-    // Bulk instruction counts are order-independent (they change no
-    // coherence state), so charging them up front keeps the span loop
-    // pure data replay — exactly what the contiguous path does.
-    if (spans.instrRefs() != 0) {
-        for (auto &engine : _engines)
-            engine->recordInstrs(spans.instrRefs());
-    }
+    FusedReplay replay(
+        FusedReplayOptions{.stripRefs = _cfg.replayStripRefs});
+    return replay.run(spans, enginePointers()).totalRefs();
+}
 
-    spans.rewind();
-    trace::PreparedSpan span;
-    std::uint64_t data = 0;
-    while (spans.nextSpan(span)) {
-        if (span.n == 0)
-            continue;
-        const coherence::PreparedSlice slice{span.block, span.unit,
-                                             span.typeFlags, span.n};
-        for (auto &engine : _engines)
-            engine->accessPrepared(slice);
-        data += span.n;
-    }
-    if (data != spans.dataRefs())
-        throw std::runtime_error(
-            "Simulator: prepared stream '" + spans.name() +
-            "' yielded " + std::to_string(data) +
-            " data references but its summary declares " +
-            std::to_string(spans.dataRefs()));
-    return spans.instrRefs() + data;
+std::vector<coherence::CoherenceEngine *>
+Simulator::enginePointers() const
+{
+    std::vector<coherence::CoherenceEngine *> engines;
+    engines.reserve(_engines.size());
+    for (const auto &engine : _engines)
+        engines.push_back(engine.get());
+    return engines;
 }
 
 } // namespace dirsim::sim

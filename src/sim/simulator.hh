@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "coherence/engine.hh"
+#include "sim/fused_replay.hh"
 #include "sim/unit_map.hh"
 #include "trace/prepared.hh"
 #include "trace/ref_source.hh"
@@ -42,6 +43,19 @@ struct SimConfig
      * derives it from workload metadata.
      */
     std::uint64_t expectedBlocks = 0;
+    /**
+     * References per fused-replay strip for the prepared paths (see
+     * sim/fused_replay.hh): every strip visits all engines before the
+     * column walk advances, so the columns are read from memory once
+     * per run instead of once per engine.  0 restores the pre-fusion
+     * shape (each engine scans the whole stream in turn) — the A/B
+     * escape hatch.  Either way the replay is bit-identical: strip
+     * boundaries are invisible to the coherence model, exactly like
+     * span boundaries.
+     */
+    std::size_t replayStripRefs = kDefaultReplayStripRefs;
+
+    bool operator==(const SimConfig &) const = default;
 };
 
 /** Runs traces through a set of coherence engines. */
@@ -129,6 +143,9 @@ class Simulator
     }
 
   private:
+    /** Non-owning engine list in registration order (FusedReplay). */
+    std::vector<coherence::CoherenceEngine *> enginePointers() const;
+
     SimConfig _cfg;
     std::vector<std::unique_ptr<coherence::CoherenceEngine>> _engines;
     UnitMapper _unitMap;

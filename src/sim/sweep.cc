@@ -26,37 +26,86 @@ SweepRunner::add(SweepPoint point)
     return _points.size() - 1;
 }
 
+std::vector<std::size_t>
+SweepRunner::plannedGroupSizes() const
+{
+    // Fusable: consecutive points sharing a non-empty fuseKey and an
+    // equal sim config (one Simulator must serve the whole group).
+    std::vector<std::size_t> sizes;
+    for (std::size_t i = 0; i < _points.size();) {
+        std::size_t end = i + 1;
+        if (!_points[i].fuseKey.empty()) {
+            while (end < _points.size() &&
+                   _points[end].fuseKey == _points[i].fuseKey &&
+                   _points[end].sim == _points[i].sim)
+                ++end;
+        }
+        sizes.push_back(end - i);
+        i = end;
+    }
+    return sizes;
+}
+
 std::vector<SweepPointResult>
 SweepRunner::run()
 {
-    // Each point becomes one task; runOrdered() provides the
+    // Each fusion group becomes one task; runOrdered() provides the
     // deterministic submission-ordered collection, so a parallel
-    // sweep is bit-identical to a serial one.
-    std::vector<std::function<SweepPointResult()>> tasks;
-    tasks.reserve(_points.size());
-    for (const SweepPoint &point : _points) {
-        tasks.push_back([&point] {
-            SweepPointResult res;
-            res.name = point.name;
-            Simulator simulator(point.sim);
-            for (auto &engine : point.engines())
-                simulator.addEngine(std::move(engine));
-            if (point.spans) {
-                const auto spans = point.spans();
-                res.refs = simulator.run(*spans);
-            } else if (point.prepared) {
-                res.refs = simulator.run(*point.prepared);
-            } else {
-                const auto source = point.source();
-                res.refs = simulator.run(*source);
+    // sweep is bit-identical to a serial one.  A group's Simulator
+    // owns every member's engines and replays the lead point's
+    // stream once for all of them (fused per SimConfig's strip
+    // size); ungrouped points are just groups of one, which makes
+    // this exactly the old per-point behaviour.
+    const std::vector<std::size_t> sizes = plannedGroupSizes();
+    std::vector<std::function<std::vector<SweepPointResult>()>> tasks;
+    tasks.reserve(sizes.size());
+    std::size_t begin = 0;
+    for (const std::size_t size : sizes) {
+        const std::size_t end = begin + size;
+        tasks.push_back([this, begin, end] {
+            const SweepPoint &lead = _points[begin];
+            Simulator simulator(lead.sim);
+            std::vector<std::size_t> engineCount(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+                auto engines = _points[i].engines();
+                engineCount[i - begin] = engines.size();
+                for (auto &engine : engines)
+                    simulator.addEngine(std::move(engine));
             }
-            res.engines.reserve(simulator.numEngines());
-            for (std::size_t e = 0; e < simulator.numEngines(); ++e)
-                res.engines.push_back(simulator.engine(e).results());
-            return res;
+            std::uint64_t refs;
+            if (lead.spans) {
+                const auto spans = lead.spans();
+                refs = simulator.run(*spans);
+            } else if (lead.prepared) {
+                refs = simulator.run(*lead.prepared);
+            } else {
+                const auto source = lead.source();
+                refs = simulator.run(*source);
+            }
+            std::vector<SweepPointResult> out(end - begin);
+            std::size_t e = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+                SweepPointResult &res = out[i - begin];
+                res.name = _points[i].name;
+                res.refs = refs;
+                res.engines.reserve(engineCount[i - begin]);
+                for (std::size_t k = 0; k < engineCount[i - begin];
+                     ++k, ++e)
+                    res.engines.push_back(
+                        simulator.engine(e).results());
+            }
+            return out;
         });
+        begin = end;
     }
-    return runOrdered<SweepPointResult>(_jobs, tasks);
+    std::vector<SweepPointResult> results;
+    results.reserve(_points.size());
+    for (auto &group :
+         runOrdered<std::vector<SweepPointResult>>(_jobs, tasks)) {
+        for (SweepPointResult &res : group)
+            results.push_back(std::move(res));
+    }
+    return results;
 }
 
 } // namespace dirsim::sim

@@ -127,6 +127,23 @@ struct SweepPoint
      * other stream fields.
      */
     std::function<std::unique_ptr<trace::PreparedSpanSource>()> spans;
+
+    /**
+     * Fusion group key.  Consecutive add()ed points carrying the same
+     * non-empty key and an equal sim config run as ONE job: a single
+     * Simulator owns every member's engines and replays the group's
+     * stream once, fused (sim/fused_replay.hh) — the scheme axis of a
+     * sweep collapses into one column pass per workload.  Results are
+     * still one SweepPointResult per point, in submission order,
+     * bit-identical to unfused execution (engines are independent
+     * state models; strip interleaving is invisible to them).
+     *
+     * Contract: every point of a group must describe the same
+     * reference stream — the runner replays the FIRST member's
+     * stream for the whole group.  Empty key (the default) keeps the
+     * point standalone.
+     */
+    std::string fuseKey;
 };
 
 /** Outcome of one SweepPoint. */
@@ -166,6 +183,12 @@ class SweepRunner
     /** Worker threads the runner will use. */
     unsigned jobs() const { return _jobs; }
     std::size_t numPoints() const { return _points.size(); }
+
+    /**
+     * Points per job as run() would fuse them, in submission order
+     * (test/diagnostic hook: all-ones means no fusion will happen).
+     */
+    std::vector<std::size_t> plannedGroupSizes() const;
 
   private:
     unsigned _jobs;

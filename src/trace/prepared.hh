@@ -42,6 +42,7 @@
 #include "sim/unit_map.hh"
 #include "trace/record.hh"
 #include "trace/trace.hh"
+#include "util/simd.hh"
 
 namespace dirsim::trace
 {
@@ -71,9 +72,9 @@ struct PrepareOptions
  */
 struct PreparedCpuStream
 {
-    std::vector<std::uint32_t> block;
-    std::vector<std::uint8_t> unit;
-    std::vector<std::uint8_t> typeFlags;
+    util::AlignedVector<std::uint32_t> block;
+    util::AlignedVector<std::uint8_t> unit;
+    util::AlignedVector<std::uint8_t> typeFlags;
 
     std::size_t size() const { return block.size(); }
 };
@@ -82,6 +83,11 @@ struct PreparedCpuStream
 // raw pointer arithmetic over them.
 static_assert(sizeof(std::uint32_t) == 4 && sizeof(std::uint8_t) == 1,
               "prepared SoA element widths are load-bearing");
+
+// util/simd.hh cannot include trace headers (layering), so it hard-
+// codes the packed byte's type field; pin the two constants together.
+static_assert(packedTypeMask == util::kTypeLaneMask,
+              "util::kTypeLaneMask must match the packed type field");
 
 class PreparedTraceBuilder;
 class StoredTrace;
@@ -248,9 +254,9 @@ class PreparedTrace
     std::uint64_t _instrRefs = 0;
     unsigned _nUnits = 0;
     unsigned _nCpus = 0;
-    std::vector<std::uint32_t> _block;
-    std::vector<std::uint8_t> _unit;
-    std::vector<std::uint8_t> _typeFlags;
+    util::AlignedVector<std::uint32_t> _block;
+    util::AlignedVector<std::uint8_t> _unit;
+    util::AlignedVector<std::uint8_t> _typeFlags;
     std::vector<PreparedCpuStream> _cpuStreams;
 };
 

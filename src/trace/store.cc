@@ -6,12 +6,14 @@
 #include <unistd.h>
 
 #include <bit>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
 #include "mem/block.hh"
 #include "util/hash.hh"
+#include "util/simd.hh"
 
 // The reader hands engines pointers straight into the file mapping,
 // so the in-memory and on-disk column layouts must coincide.  Every
@@ -42,6 +44,12 @@ constexpr std::uint64_t
 align8(std::uint64_t v)
 {
     return (v + 7) & ~std::uint64_t{7};
+}
+
+constexpr std::uint64_t
+align64(std::uint64_t v)
+{
+    return (v + 63) & ~std::uint64_t{63};
 }
 
 /** Bytes of one chunk's payload (block + unit + typeFlags columns). */
@@ -206,7 +214,7 @@ class FileWindow
     const std::string *_path;
     void *_map = nullptr;
     std::size_t _mapLen = 0;
-    std::vector<std::uint8_t> _buf;
+    util::AlignedVector<std::uint8_t> _buf; //!< 64-aligned base.
 };
 
 /** View chunk @p c and (optionally) verify its digest. */
@@ -216,6 +224,14 @@ viewChunk(FileWindow &win, const StoredTrace &trace, std::uint64_t offset,
           const std::string &path)
 {
     const std::uint8_t *p = win.view(offset, payloadBytes(nRefs));
+    // Alignment contract: a 64-aligned chunk offset must surface as a
+    // cache-line-aligned pointer (mmap bases are page-aligned, the
+    // pread buffer is 64-aligned), so SIMD loads never split lines.
+    // Legacy 8-aligned chunks are exempt — they predate the contract.
+    assert(offset % util::kCacheLineBytes != 0 ||
+           reinterpret_cast<std::uintptr_t>(p) %
+                   util::kCacheLineBytes ==
+               0);
     if (verify && chunkDigest(p, nRefs) != digest)
         fail(path, "chunk digest mismatch at offset " +
                        std::to_string(offset) +
@@ -310,6 +326,9 @@ PreparedTraceWriter::flushChunk(ChunkBuffer &buf,
 {
     if (buf.block.empty())
         return;
+    // Start every chunk on a cache-line boundary: mmap windows then
+    // hand SIMD replay 64-aligned column pointers for free.
+    padTo64();
     const std::uint64_t n = buf.block.size();
     ChunkEntry entry;
     entry.offset = _pos;
@@ -351,6 +370,15 @@ PreparedTraceWriter::padTo8()
 {
     static const std::uint8_t zeros[8] = {};
     const std::uint64_t pad = align8(_pos) - _pos;
+    if (pad != 0)
+        writeBytes(zeros, std::size_t(pad));
+}
+
+void
+PreparedTraceWriter::padTo64()
+{
+    static const std::uint8_t zeros[64] = {};
+    const std::uint64_t pad = align64(_pos) - _pos;
     if (pad != 0)
         writeBytes(zeros, std::size_t(pad));
 }
@@ -772,9 +800,9 @@ StoredTrace::loadAll() const
 
     FileWindow win(_fd, _mmapOk, _path);
     auto appendColumns = [&](const ChunkRef &c,
-                             std::vector<std::uint32_t> &block,
-                             std::vector<std::uint8_t> &unit,
-                             std::vector<std::uint8_t> &typeFlags) {
+                             util::AlignedVector<std::uint32_t> &block,
+                             util::AlignedVector<std::uint8_t> &unit,
+                             util::AlignedVector<std::uint8_t> &typeFlags) {
         const std::uint8_t *p =
             viewChunk(win, *this, c.offset, c.nRefs, c.digest,
                       _readOpts.verifyDigests, _path);

@@ -20,9 +20,15 @@
  *            u32 nUnits | u32 nCpus | u32 nameLen | u64 instrRefs |
  *            u64 dataRefs | u64 chunkRefs | u64 nChunks |
  *            u64 tableOffset | name bytes | u64 headerDigest
- *   chunks   per data chunk of n refs (offset 8-aligned):
+ *   chunks   per data chunk of n refs (offset 64-aligned when
+ *            written by this build; readers accept any 8-aligned
+ *            offset, so older 8-aligned files stay readable):
  *            u32 block[n] | u8 unit[n] | u8 typeFlags[n] | pad to 8
  *            (timed per-CPU stream chunks use the same framing)
+ *            The 64-byte chunk alignment keeps mmap'd column windows
+ *            on cache-line boundaries so SIMD replay loads take the
+ *            aligned path; it is a pure padding change — chunk
+ *            offsets are explicit in the table, so no version bump.
  *   table    { u64 offset, u64 nRefs, u64 digest } per data chunk,
  *            then (timedStreams only) u64 cpuRefs[nCpus] followed by
  *            each CPU's chunk entries, then u64 tableDigest; the
@@ -148,6 +154,8 @@ class PreparedTraceWriter
     void flushChunk(ChunkBuffer &buf, std::vector<ChunkEntry> &entries);
     void writeBytes(const void *data, std::size_t n);
     void padTo8();
+    /** Pad to a cache-line boundary (chunk starts). */
+    void padTo64();
 
     std::string _path;
     std::string _name;

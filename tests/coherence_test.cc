@@ -409,6 +409,13 @@ TEST(Limited, RejectsBadParameters)
     EXPECT_THROW(LimitedEngine(0, 1), std::invalid_argument);
     EXPECT_THROW(LimitedEngine(65, 1), std::invalid_argument);
     EXPECT_THROW(LimitedEngine(4, 0), std::invalid_argument);
+    // More than 8 pointers exceeds the inline fill queue (the paper's
+    // no-broadcast sweep tops out at Dir8NB) ...
+    EXPECT_THROW(LimitedEngine(16, 9), std::invalid_argument);
+    // ... but a large count clamped down by a small unit count is
+    // fine: Dir9NB on 8 units is just Dir8NB.
+    EXPECT_NO_THROW(LimitedEngine(8, 9));
+    EXPECT_NO_THROW(LimitedEngine(16, 8));
 }
 
 TEST(Limited, Dir1NbSingleCopySemantics)

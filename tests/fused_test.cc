@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Fused multi-scheme replay: differential equivalence suite.
+ *
+ * FusedReplay interleaves every engine over cache-sized strips of the
+ * prepared columns.  The claim that strip interleaving is invisible
+ * to the coherence models is load-bearing for the whole sweep path,
+ * so this suite pins it from every angle against the seed golden
+ * digests (golden_data.hh): sequential whole-span replay (the
+ * --no-fused hatch), adversarial strip sizes, fused groups through a
+ * parallel SweepRunner, and fused groups over streamed store spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/workload.hh"
+#include "gen/workloads.hh"
+#include "sim/fused_replay.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "sim/trace_repo.hh"
+#include "trace/prepared.hh"
+#include "trace/store.hh"
+#include "trace/trace.hh"
+
+#include "golden_data.hh"
+
+namespace
+{
+
+using namespace dirsim;
+using golden::CacheDirGuard;
+using golden::digest;
+using golden::kGolden;
+using golden::kNumSchemes;
+using golden::kSchemes;
+
+/** All 14 schemes over one prepared workload at a given strip size. */
+std::vector<std::uint64_t>
+runPreparedWithStrip(const gen::WorkloadConfig &cfg,
+                     std::size_t stripRefs)
+{
+    const std::shared_ptr<const trace::PreparedTrace> prepared =
+        sim::TraceRepository::global().get(cfg);
+    sim::SimConfig sc;
+    sc.replayStripRefs = stripRefs;
+    sim::Simulator simulator(sc);
+    for (const golden::Scheme &scheme : kSchemes)
+        simulator.addEngine(
+            scheme.make(cfg.space.nProcesses, nullptr));
+    simulator.run(*prepared);
+
+    std::vector<std::uint64_t> digests;
+    for (std::size_t e = 0; e < simulator.numEngines(); ++e)
+        digests.push_back(digest(simulator.engine(e).results()));
+    return digests;
+}
+
+/**
+ * The --no-fused escape hatch (replayStripRefs = 0: each span handed
+ * to each engine whole, the pre-fusion shape) must land on the same
+ * seed digests as the default fused path for every scheme × workload.
+ */
+TEST(FusedReplayEquivalence, SequentialWholeSpanMatchesGolden)
+{
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::vector<std::uint64_t> digests =
+            runPreparedWithStrip(workloads[w], 0);
+        ASSERT_EQ(digests.size(), kNumSchemes);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            EXPECT_EQ(digests[s], kGolden[w][s])
+                << "scheme '" << kSchemes[s].label << "' on workload '"
+                << workloads[w].name
+                << "' diverged under sequential whole-span replay";
+        }
+    }
+}
+
+/**
+ * Strip size must never be observable: one-reference strips (maximum
+ * engine interleaving), a prime size that never divides the span, and
+ * a size far below the default all reproduce the seed digests.
+ */
+TEST(FusedReplayEquivalence, AdversarialStripSizesMatchGolden)
+{
+    const gen::WorkloadConfig cfg = gen::standardWorkloads()[0];
+    for (const std::size_t strip : {std::size_t(1), std::size_t(7),
+                                    std::size_t(1000)}) {
+        const std::vector<std::uint64_t> digests =
+            runPreparedWithStrip(cfg, strip);
+        ASSERT_EQ(digests.size(), kNumSchemes);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            EXPECT_EQ(digests[s], kGolden[0][s])
+                << "scheme '" << kSchemes[s].label << "' diverged at "
+                << strip << "-ref strips";
+        }
+    }
+}
+
+/**
+ * The scheme axis fused through a 4-worker SweepRunner: each
+ * workload's 14 points share a fuseKey, so the runner collapses them
+ * into one fused column pass per workload — and every point still
+ * lands on its golden digest, in submission order.
+ */
+TEST(FusedReplayEquivalence, FusedParallelSweepMatchesGolden)
+{
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+
+    sim::SweepRunner runner(4);
+    for (const gen::WorkloadConfig &cfg : workloads) {
+        const std::shared_ptr<const trace::PreparedTrace> prepared =
+            sim::TraceRepository::global().get(cfg);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            sim::SweepPoint point;
+            point.name =
+                std::string(cfg.name) + "/" + kSchemes[s].label;
+            point.fuseKey = "fused/" + std::string(cfg.name);
+            point.engines = [s, units = cfg.space.nProcesses] {
+                std::vector<
+                    std::unique_ptr<coherence::CoherenceEngine>>
+                    engines;
+                engines.push_back(kSchemes[s].make(units, nullptr));
+                return engines;
+            };
+            point.prepared = prepared;
+            runner.add(std::move(point));
+        }
+    }
+
+    // One fused group per workload, not 42 standalone points.
+    const std::vector<std::size_t> groups =
+        runner.plannedGroupSizes();
+    ASSERT_EQ(groups.size(), workloads.size());
+    for (const std::size_t size : groups)
+        EXPECT_EQ(size, kNumSchemes);
+
+    const std::vector<sim::SweepPointResult> results = runner.run();
+    ASSERT_EQ(results.size(), workloads.size() * kNumSchemes);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            const sim::SweepPointResult &res =
+                results[w * kNumSchemes + s];
+            ASSERT_EQ(res.engines.size(), 1u);
+            EXPECT_EQ(digest(res.engines[0]), kGolden[w][s])
+                << "point '" << res.name
+                << "' diverged in a fused parallel sweep";
+        }
+    }
+}
+
+/**
+ * Fused groups over the out-of-core path: every workload's 14 points
+ * fuse into one pass over windowed spans of a spilled store file
+ * (small chunks force many span boundaries inside every strip walk).
+ */
+TEST(FusedReplayEquivalence, FusedStreamedSweepMatchesGolden)
+{
+    CacheDirGuard dir("fused");
+    sim::TraceRepository repo(1);
+    sim::DiskCacheConfig disk;
+    disk.dir = dir.path;
+    disk.chunkRefs = 64 * 1024;
+    repo.setDiskCache(disk);
+
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+
+    sim::SweepRunner runner(4);
+    for (const gen::WorkloadConfig &cfg : workloads) {
+        const std::shared_ptr<const trace::StoredTrace> stored =
+            repo.getStored(cfg);
+        ASSERT_GT(stored->numChunks(), 1u);
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            sim::SweepPoint point;
+            point.name =
+                std::string(cfg.name) + "/" + kSchemes[s].label;
+            point.fuseKey = "stream/" + std::string(cfg.name);
+            point.engines = [s, units = cfg.space.nProcesses] {
+                std::vector<
+                    std::unique_ptr<coherence::CoherenceEngine>>
+                    engines;
+                engines.push_back(kSchemes[s].make(units, nullptr));
+                return engines;
+            };
+            point.spans = [stored] { return stored->spanCursor(); };
+            runner.add(std::move(point));
+        }
+    }
+
+    const std::vector<std::size_t> groups =
+        runner.plannedGroupSizes();
+    ASSERT_EQ(groups.size(), workloads.size());
+    for (const std::size_t size : groups)
+        EXPECT_EQ(size, kNumSchemes);
+
+    const std::vector<sim::SweepPointResult> results = runner.run();
+    ASSERT_EQ(results.size(), workloads.size() * kNumSchemes);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t s = 0; s < kNumSchemes; ++s) {
+            const sim::SweepPointResult &res =
+                results[w * kNumSchemes + s];
+            ASSERT_EQ(res.engines.size(), 1u);
+            EXPECT_EQ(digest(res.engines[0]), kGolden[w][s])
+                << "point '" << res.name
+                << "' diverged in a fused streamed sweep";
+        }
+    }
+    EXPECT_EQ(repo.stats().builds, 3u);
+}
+
+/** Points with distinct fuse keys (or none) stay standalone. */
+TEST(FusedReplay, DistinctKeysDoNotFuse)
+{
+    const gen::WorkloadConfig cfg = gen::standardWorkloads()[0];
+    const std::shared_ptr<const trace::PreparedTrace> prepared =
+        sim::TraceRepository::global().get(cfg);
+    sim::SweepRunner runner(2);
+    for (const char *key : {"a", "b", ""}) {
+        sim::SweepPoint point;
+        point.name = key;
+        point.fuseKey = key;
+        point.engines = [units = cfg.space.nProcesses] {
+            std::vector<std::unique_ptr<coherence::CoherenceEngine>>
+                engines;
+            engines.push_back(kSchemes[0].make(units, nullptr));
+            return engines;
+        };
+        point.prepared = prepared;
+        runner.add(std::move(point));
+    }
+    const std::vector<std::size_t> groups =
+        runner.plannedGroupSizes();
+    ASSERT_EQ(groups.size(), 3u);
+    for (const std::size_t size : groups)
+        EXPECT_EQ(size, 1u);
+}
+
+/** An empty prepared stream fused across engines is a clean no-op. */
+TEST(FusedReplay, EmptyStream)
+{
+    trace::MemoryTrace empty;
+    trace::PrepareOptions prep;
+    const trace::PreparedTrace prepared =
+        trace::PreparedTrace::build(empty, prep);
+    ASSERT_EQ(prepared.dataRefs(), 0u);
+
+    coherence::InvalEngineConfig cfg;
+    cfg.nUnits = 4;
+    coherence::InvalEngine a(cfg), b(cfg);
+    trace::PreparedTraceSpans spans(prepared);
+    sim::FusedReplayOptions opts;
+    opts.timeEngines = true;
+    const sim::FusedReplayRun run =
+        sim::FusedReplay(opts).run(spans, {&a, &b});
+    EXPECT_EQ(run.totalRefs(), 0u);
+    ASSERT_EQ(run.engineSeconds.size(), 2u);
+}
+
+} // namespace

@@ -24,6 +24,7 @@
 #include "trace/prepared.hh"
 #include "trace/store.hh"
 #include "trace/trace.hh"
+#include "util/simd.hh"
 
 namespace
 {
@@ -163,6 +164,44 @@ TEST(StoredTraceTest, SpanConcatenationEqualsColumns)
     // rewind() restarts the sequence from the first chunk.
     spans->rewind();
     checkOnePass(*spans);
+}
+
+/**
+ * The SIMD alignment contract: in-memory columns and every streamed
+ * span must start on a cache line, so vector loads over the prepared
+ * columns never split lines.  Chunk payload offsets are 64-aligned in
+ * the file and the reader's mmap/pread windows preserve that.
+ */
+TEST(StoredTraceTest, ColumnsAndSpansAreCacheLineAligned)
+{
+    const auto aligned = [](const void *p) {
+        return reinterpret_cast<std::uintptr_t>(p) %
+                   util::kCacheLineBytes ==
+               0;
+    };
+
+    const auto cfg = smallWorkload();
+    const trace::PreparedTrace prepared =
+        trace::PreparedTrace::build(gen::generateTrace(cfg));
+    EXPECT_TRUE(aligned(prepared.blockData()));
+    EXPECT_TRUE(aligned(prepared.unitData()));
+    EXPECT_TRUE(aligned(prepared.typeFlagsData()));
+
+    PathGuard file{scratchPath("aligned")};
+    trace::StoreWriteOptions wopts;
+    wopts.chunkRefs = 4096;
+    trace::writeStored(prepared, file.path, wopts);
+    const auto stored = trace::StoredTrace::open(file.path);
+    ASSERT_GT(stored->numChunks(), 1u);
+
+    const auto spans = stored->spanCursor();
+    trace::PreparedSpan span;
+    std::size_t nSpans = 0;
+    while (spans->nextSpan(span)) {
+        ++nSpans;
+        EXPECT_TRUE(aligned(span.block));
+    }
+    EXPECT_EQ(nSpans, stored->numChunks());
 }
 
 TEST(StoredTraceTest, SpillFromSourceMatchesInMemoryDecode)
