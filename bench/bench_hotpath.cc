@@ -42,6 +42,15 @@
  *   --no-fused     sequential whole-stream replay per engine instead
  *                  of the fused multi-scheme column walk (A/B hatch;
  *                  results are bit-identical either way)
+ *   --no-multi     independent LimitedEngines for the DiriNB row
+ *                  instead of the shared-table multi-configuration
+ *                  engine (A/B hatch; bit-identical either way)
+ *   --multi-floor R  fail (exit 1) if the multi-configuration row's
+ *                  speedup over the independent DiriNB engines falls
+ *                  below R (sweep mode; default 0 = disabled)
+ *   --schemes CSV  restrict the sweep's per-scheme attribution (and
+ *                  the multi-config lanes) to the named schemes;
+ *                  unknown names are a hard error (sweep mode)
  *   --no-reserve   skip the expectedBlocks reserve hint (measures the
  *                  growth-by-rehash path the seed code always paid)
  *   --trace-cache-dir PATH    persistent trace cache directory; the
@@ -55,6 +64,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +82,7 @@
 #include "coherence/dragon_engine.hh"
 #include "coherence/inval_engine.hh"
 #include "coherence/limited_engine.hh"
+#include "coherence/multi_limited_engine.hh"
 #include "coherence/wti_engine.hh"
 #include "directory/full_map.hh"
 #include "gen/workload.hh"
@@ -103,7 +114,15 @@ struct Options
     std::uint64_t streamChunkRefs = trace::kDefaultChunkRefs;
     bool repoStats = false;
     bool fused = true;
+    bool multi = true;
+    double multiFloor = 0.0;
+    std::vector<std::string> schemes; //!< Empty = all.
 };
+
+/** The sweep campaign's scheme vocabulary (attribution row order). */
+const std::vector<std::string> kSweepSchemes = {
+    "inval", "dir1nb", "dir2nb", "dir4nb",
+    "dir8nb", "dragon", "berkeley"};
 
 struct PointResult
 {
@@ -157,16 +176,35 @@ parseOptions(int argc, char **argv)
             opts.repoStats = true;
         } else if (std::strcmp(argv[a], "--no-fused") == 0) {
             opts.fused = false;
+        } else if (std::strcmp(argv[a], "--no-multi") == 0) {
+            opts.multi = false;
+        } else if (std::strcmp(argv[a], "--multi-floor") == 0) {
+            opts.multiFloor = cli::parseDoubleInRange(
+                want("--multi-floor"), "--multi-floor", 0.0,
+                std::numeric_limits<double>::max());
+        } else if (std::strcmp(argv[a], "--schemes") == 0) {
+            opts.schemes = cli::parseNameList(
+                want("--schemes"), "--schemes", kSweepSchemes);
         } else {
             std::cerr << "error: unknown flag '" << argv[a] << "'\n"
                       << "usage: bench_hotpath [--refs N] [--reps N] "
                          "[--out PATH] [--floor R] [--sweep] "
-                         "[--no-reserve] [--no-fused] "
+                         "[--schemes CSV] [--no-reserve] "
+                         "[--no-fused] [--no-multi] "
+                         "[--multi-floor R] "
                          "[--trace-cache-dir PATH] "
                          "[--trace-cache-budget MiB] "
                          "[--stream-chunk-refs N] [--repo-stats]\n";
             std::exit(2);
         }
+    }
+    if (!opts.schemes.empty() && !opts.sweep) {
+        std::cerr << "error: --schemes only applies to --sweep\n";
+        std::exit(2);
+    }
+    if (opts.multiFloor > 0.0 && !opts.sweep) {
+        std::cerr << "error: --multi-floor only applies to --sweep\n";
+        std::exit(2);
     }
     if (opts.out.empty())
         opts.out = opts.sweep ? "BENCH_sweep.json"
@@ -422,28 +460,53 @@ struct SchemeResult
  * dir8nb reports itself as dir4nb on a four-process workload.
  */
 std::vector<std::pair<std::string, EngineMaker>>
-campaignEngines(unsigned units)
+campaignEngines(unsigned units,
+                const std::vector<std::string> &schemeFilter)
 {
+    const auto wanted = [&schemeFilter](const std::string &name) {
+        return schemeFilter.empty() ||
+               std::find(schemeFilter.begin(), schemeFilter.end(),
+                         name) != schemeFilter.end();
+    };
     std::vector<std::pair<std::string, EngineMaker>> makers;
-    makers.emplace_back("inval", [units] {
-        coherence::InvalEngineConfig cfg;
-        cfg.nUnits = units;
-        return std::make_unique<coherence::InvalEngine>(cfg);
-    });
+    if (wanted("inval"))
+        makers.emplace_back("inval", [units] {
+            coherence::InvalEngineConfig cfg;
+            cfg.nUnits = units;
+            return std::make_unique<coherence::InvalEngine>(cfg);
+        });
     for (unsigned p : {1u, 2u, 4u, 8u})
-        makers.emplace_back("dir" + std::to_string(p) + "nb",
-                            [units, p] {
-                                return std::make_unique<
-                                    coherence::LimitedEngine>(units,
-                                                              p);
-                            });
-    makers.emplace_back("dragon", [units] {
-        return std::make_unique<coherence::DragonEngine>(units);
-    });
-    makers.emplace_back("berkeley", [units] {
-        return std::make_unique<coherence::BerkeleyEngine>(units);
-    });
+        if (wanted("dir" + std::to_string(p) + "nb"))
+            makers.emplace_back("dir" + std::to_string(p) + "nb",
+                                [units, p] {
+                                    return std::make_unique<
+                                        coherence::LimitedEngine>(
+                                        units, p);
+                                });
+    if (wanted("dragon"))
+        makers.emplace_back("dragon", [units] {
+            return std::make_unique<coherence::DragonEngine>(units);
+        });
+    if (wanted("berkeley"))
+        makers.emplace_back("berkeley", [units] {
+            return std::make_unique<coherence::BerkeleyEngine>(units);
+        });
     return makers;
+}
+
+/** The DiriNB pointer counts the scheme filter keeps, sweep order. */
+std::vector<unsigned>
+filteredLanePointers(const std::vector<std::string> &schemeFilter)
+{
+    std::vector<unsigned> lanes;
+    for (unsigned p : {1u, 2u, 4u, 8u}) {
+        const std::string name = "dir" + std::to_string(p) + "nb";
+        if (schemeFilter.empty() ||
+            std::find(schemeFilter.begin(), schemeFilter.end(),
+                      name) != schemeFilter.end())
+            lanes.push_back(p);
+    }
+    return lanes;
 }
 
 /**
@@ -457,7 +520,8 @@ campaignEngines(unsigned units)
 std::vector<SchemeResult>
 runSchemeAttribution(const std::vector<gen::WorkloadConfig> &cfgs,
                      const trace::PrepareOptions &prep, bool fused,
-                     unsigned reps)
+                     unsigned reps,
+                     const std::vector<std::string> &schemeFilter)
 {
     std::vector<SchemeResult> schemes;
     for (unsigned rep = 0; rep < reps; ++rep) {
@@ -472,7 +536,8 @@ runSchemeAttribution(const std::vector<gen::WorkloadConfig> &cfgs,
                 engines;
             std::vector<coherence::CoherenceEngine *> ptrs;
             std::vector<std::string> names;
-            for (const auto &[name, make] : campaignEngines(units)) {
+            for (const auto &[name, make] :
+                 campaignEngines(units, schemeFilter)) {
                 engines.push_back(make());
                 engines.back()->reserveBlocks(expected);
                 ptrs.push_back(engines.back().get());
@@ -517,6 +582,83 @@ runSchemeAttribution(const std::vector<gen::WorkloadConfig> &cfgs,
                            ? static_cast<double>(s.refs) / s.seconds
                            : 0.0;
     return schemes;
+}
+
+/** The collapsed DiriNB row's timing, for the multi-config A/B. */
+struct MultiRowResult
+{
+    bool enabled = false;
+    std::vector<unsigned> lanes; //!< Pointer counts, sweep order.
+    double seconds = 0.0; //!< Best-of-reps, all workloads, one probe.
+    std::uint64_t refs = 0; //!< Stream refs through the shared table.
+    /** Sum of the same lanes' independent-engine rows (pass above). */
+    double independentSeconds = 0.0;
+    double speedup = 0.0;
+};
+
+/**
+ * Time the collapsed pointer-count row: one MultiLimitedEngine whose
+ * lanes are the sweep's DiriNB configurations, co-resident with the
+ * other campaign engines so cache pressure matches the independent
+ * attribution pass — but only the multi row's per-engine clock is
+ * harvested.  Each reference costs one shared block-table probe plus
+ * one update per lane, versus one probe per lane for the independent
+ * engines; the speedup over the summed independent rows is the gate
+ * the CI --multi-floor locks in.
+ */
+MultiRowResult
+runMultiAttribution(const std::vector<gen::WorkloadConfig> &cfgs,
+                    const trace::PrepareOptions &prep, unsigned reps,
+                    const std::vector<unsigned> &lanes,
+                    const std::vector<std::string> &schemeFilter)
+{
+    MultiRowResult mr;
+    mr.lanes = lanes;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        double seconds = 0.0;
+        std::uint64_t refs = 0;
+        for (const gen::WorkloadConfig &cfg : cfgs) {
+            const auto prepared =
+                sim::TraceRepository::global().get(cfg, prep);
+            const unsigned units = cfg.space.nProcesses;
+            const std::uint64_t expected =
+                gen::expectedUniqueBlocks(cfg.space);
+            std::vector<std::unique_ptr<coherence::CoherenceEngine>>
+                engines;
+            std::vector<coherence::CoherenceEngine *> ptrs;
+            std::size_t multiIndex = 0;
+            bool multiPlaced = false;
+            for (const auto &[name, make] :
+                 campaignEngines(units, schemeFilter)) {
+                if (name.rfind("dir", 0) == 0) {
+                    // The whole DiriNB row becomes one engine.
+                    if (multiPlaced)
+                        continue;
+                    multiIndex = engines.size();
+                    multiPlaced = true;
+                    engines.push_back(std::make_unique<
+                                      coherence::MultiLimitedEngine>(
+                        units, lanes));
+                } else {
+                    engines.push_back(make());
+                }
+                engines.back()->reserveBlocks(expected);
+                ptrs.push_back(engines.back().get());
+            }
+            sim::FusedReplayOptions fr;
+            fr.timeEngines = true;
+            trace::PreparedTraceSpans spans(*prepared);
+            const sim::FusedReplayRun run =
+                sim::FusedReplay(fr).run(spans, ptrs);
+            seconds += run.engineSeconds[multiIndex];
+            refs += run.totalRefs();
+        }
+        if (rep == 0 || seconds < mr.seconds) {
+            mr.seconds = seconds;
+            mr.refs = refs;
+        }
+    }
+    return mr;
 }
 
 int
@@ -571,12 +713,41 @@ runSweepMode(const Options &opts)
               << repo.buildCount() << " repository builds)\n";
 
     // Per-scheme replay attribution over the now-warm repository.
-    const std::vector<SchemeResult> schemes =
-        runSchemeAttribution(cfgs, prep, opts.fused, opts.reps);
+    const std::vector<SchemeResult> schemes = runSchemeAttribution(
+        cfgs, prep, opts.fused, opts.reps, opts.schemes);
     for (const SchemeResult &s : schemes)
         std::cout << "  "
                   << bench::throughputLine(s.name, s.refs, s.seconds)
                   << "\n";
+
+    // Multi-configuration pass: the same DiriNB row collapsed into
+    // one shared-table engine.  Needs fused replay (the per-engine
+    // clocks) and at least two surviving lanes to be a collapse.
+    MultiRowResult multi;
+    const std::vector<unsigned> lanes =
+        filteredLanePointers(opts.schemes);
+    if (opts.fused && opts.multi && lanes.size() >= 2) {
+        multi = runMultiAttribution(cfgs, prep, opts.reps, lanes,
+                                    opts.schemes);
+        multi.enabled = true;
+        for (const SchemeResult &s : schemes)
+            for (const unsigned p : lanes)
+                if (s.name == "dir" + std::to_string(p) + "nb")
+                    multi.independentSeconds += s.seconds;
+        multi.speedup = multi.seconds > 0.0
+                            ? multi.independentSeconds / multi.seconds
+                            : 0.0;
+        std::cout << "  "
+                  << bench::throughputLine("multi(" +
+                                               std::to_string(
+                                                   lanes.size()) +
+                                               " lanes)",
+                                           multi.refs, multi.seconds)
+                  << "\n";
+        std::cout << "  multi-config speedup " << multi.speedup
+                  << "x over " << lanes.size()
+                  << " independent engines\n";
+    }
 
     std::ofstream os(opts.out);
     if (!os) {
@@ -612,6 +783,26 @@ runSweepMode(const Options &opts)
            << (i + 1 < schemes.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
+    os << "  \"multiConfig\": " << (multi.enabled ? "true" : "false")
+       << ",\n";
+    os << "  \"multi_config\": {\"enabled\": "
+       << (multi.enabled ? "true" : "false") << ", "
+       << "\"lanes\": " << multi.lanes.size() << ", "
+       << "\"pointer_counts\": [";
+    for (std::size_t i = 0; i < multi.lanes.size(); ++i)
+        os << (i ? ", " : "") << multi.lanes[i];
+    os << "], "
+       << "\"refs\": " << multi.refs << ", "
+       << "\"seconds\": " << multi.seconds << ", "
+       << "\"refs_per_sec\": "
+       << static_cast<std::uint64_t>(
+              multi.seconds > 0.0
+                  ? static_cast<double>(multi.refs) / multi.seconds
+                  : 0.0)
+       << ", "
+       << "\"independent_seconds\": " << multi.independentSeconds
+       << ", "
+       << "\"speedup\": " << multi.speedup << "},\n";
     os << "  \"speedup\": " << speedup << "\n";
     os << "}\n";
     std::cout << "  wrote " << opts.out << "\n";
@@ -624,6 +815,20 @@ runSweepMode(const Options &opts)
         }
         std::cout << "  floor check passed (" << speedup
                   << "x >= " << opts.floor << "x)\n";
+    }
+    if (opts.multiFloor > 0.0) {
+        if (!multi.enabled) {
+            std::cerr << "FAIL: --multi-floor set but the "
+                         "multi-configuration pass did not run\n";
+            return 1;
+        }
+        if (multi.speedup < opts.multiFloor) {
+            std::cerr << "FAIL: multi-config speedup " << multi.speedup
+                      << "x below floor " << opts.multiFloor << "x\n";
+            return 1;
+        }
+        std::cout << "  multi floor check passed (" << multi.speedup
+                  << "x >= " << opts.multiFloor << "x)\n";
     }
     if (opts.repoStats)
         std::cout << "  repo-stats: " << repo.stats().summary()
@@ -647,6 +852,8 @@ main(int argc, char **argv)
     }
     if (!opts.fused)
         analysis::setDefaultFusedReplay(false);
+    if (!opts.multi)
+        analysis::setDefaultMultiConfig(false);
     if (opts.sweep)
         return runSweepMode(opts);
 

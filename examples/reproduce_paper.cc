@@ -24,6 +24,13 @@
  *   --no-fused     replay each scheme in its own sequential pass
  *            instead of the fused multi-scheme column walk (A/B
  *            hatch; exhibits are bit-identical either way)
+ *   --no-multi     run each DiriNB configuration in its own
+ *            LimitedEngine instead of collapsing a sweep's pointer
+ *            counts into one shared-table MultiLimitedEngine (A/B
+ *            hatch; exhibits are bit-identical either way)
+ *   --schemes CSV  restrict the Section 6 DiriNB pointer sweep to
+ *            the named configurations (dir1nb..dir8nb, in the order
+ *            given); an unknown name is a hard error
  */
 
 #include <chrono>
@@ -75,6 +82,9 @@ main(int argc, char **argv)
     std::uint64_t cacheBudgetMiB = 4096;
     std::uint64_t streamChunkRefs = trace::kDefaultChunkRefs;
     bool repoStats = false;
+    // Section 6 sweeps Dir1NB..Dir4NB by default (the paper's range);
+    // --schemes replaces the list from the dirXnb vocabulary.
+    std::vector<unsigned> sweepPointers = {1, 2, 3, 4};
     outDir = "results";
     const auto want = [&](int &a, const char *flag) -> const char * {
         if (a + 1 >= argc) {
@@ -108,6 +118,20 @@ main(int argc, char **argv)
             // engine instead of the fused multi-scheme column walk.
             // Results are bit-identical either way.
             analysis::setDefaultFusedReplay(false);
+        } else if (std::strcmp(argv[a], "--no-multi") == 0) {
+            // A/B escape hatch: independent LimitedEngines instead of
+            // the shared-table multi-configuration collapse.  Results
+            // are bit-identical either way.
+            analysis::setDefaultMultiConfig(false);
+        } else if (std::strcmp(argv[a], "--schemes") == 0) {
+            const std::vector<std::string> allowed = {
+                "dir1nb", "dir2nb", "dir3nb", "dir4nb",
+                "dir5nb", "dir6nb", "dir7nb", "dir8nb"};
+            sweepPointers.clear();
+            for (const std::string &name : cli::parseNameList(
+                     want(a, "--schemes"), "--schemes", allowed))
+                sweepPointers.push_back(
+                    static_cast<unsigned>(name[3] - '0'));
         } else {
             outDir = argv[a];
         }
@@ -163,13 +187,10 @@ main(int argc, char **argv)
 
     emit("sec6_alternatives",
          analysis::renderSection6(analysis::section6(eval, 8.0), 8.0));
-    {
-        const std::vector<unsigned> pointer_counts = {1, 2, 3, 4};
-        emit("sec6_dirinb_sweep",
-             analysis::limitedSweepTable(
-                 analysis::limitedSweep(workloads, pointer_counts),
-                 pointer_counts));
-    }
+    emit("sec6_dirinb_sweep",
+         analysis::limitedSweepTable(
+             analysis::limitedSweep(workloads, sweepPointers),
+             sweepPointers));
     emit("ext_directory_messages",
          analysis::renderDirectoryMessages(
              analysis::directoryMessageStudy(full_size)));

@@ -4,6 +4,7 @@
 #include "coherence/dragon_engine.hh"
 #include "coherence/inval_engine.hh"
 #include "coherence/limited_engine.hh"
+#include "coherence/multi_limited_engine.hh"
 #include "gen/workload.hh"
 #include "sim/sweep.hh"
 #include "sim/thread_pool.hh"
@@ -25,6 +26,7 @@ namespace
 unsigned defaultJobs = 1;
 bool defaultStream = false;
 bool defaultFused = true;
+bool defaultMulti = true;
 
 } // namespace
 
@@ -62,6 +64,18 @@ bool
 defaultFusedReplay()
 {
     return defaultFused;
+}
+
+void
+setDefaultMultiConfig(bool multi)
+{
+    defaultMulti = multi;
+}
+
+bool
+defaultMultiConfig()
+{
+    return defaultMulti;
 }
 
 namespace
@@ -111,6 +125,22 @@ runWorkload(const gen::WorkloadConfig &cfg, const EvalOptions &opts,
 /** Builds one engine for a given unit count. */
 using EngineFactory =
     std::function<std::unique_ptr<coherence::CoherenceEngine>(unsigned)>;
+
+/**
+ * One cell of the workload×engine matrix: the factory that builds
+ * its engine, plus the multi-configuration collapse hint.  A nonzero
+ * limitedPointers marks the cell as a plain DiriNB run (no directory
+ * cache) with that pointer count — runMatrix may then run it as one
+ * lane of a shared coherence::MultiLimitedEngine instead of invoking
+ * the factory, one probe per reference for the whole pointer-count
+ * row.  The factory stays the fallback (and the only path when
+ * opts.multiConfig is off or the run has fewer than two such cells).
+ */
+struct EngineSpec
+{
+    EngineFactory make;
+    unsigned limitedPointers = 0;
+};
 
 /** Replays a shared trace, re-applying the lock-test filter. */
 class ReplaySource : public trace::RefSource
@@ -166,22 +196,59 @@ prepareOptionsFor(const EvalOptions &opts)
  * Both paths visit identical reference streams in identical order per
  * engine, so their results are bit-identical.
  *
- * @return results[workload][factory].
+ * With opts.multiConfig (the default), the DiriNB cells of a run
+ * (EngineSpec::limitedPointers) collapse into one shared
+ * coherence::MultiLimitedEngine — serially within each workload's
+ * Simulator, in parallel within each workload's fused sweep group —
+ * and each cell harvests its own lane.  Bit-identical either way.
+ *
+ * @return results[workload][spec].
  */
 std::vector<std::vector<coherence::EngineResults>>
 runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
           const EvalOptions &opts,
-          const std::vector<EngineFactory> &factories)
+          const std::vector<EngineSpec> &specs)
 {
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    // The pointer counts that collapse into shared lanes (needs at
+    // least two to be worth one extra engine); identical for every
+    // workload, so planned once.
+    std::vector<unsigned> lanePointers;
+    if (opts.multiConfig) {
+        for (const EngineSpec &spec : specs)
+            if (spec.limitedPointers != 0)
+                lanePointers.push_back(spec.limitedPointers);
+    }
+    const bool collapse = lanePointers.size() >= 2;
+
     std::vector<std::vector<coherence::EngineResults>> results(
         cfgs.size());
     const unsigned jobs = sim::ThreadPool::resolveThreads(opts.jobs);
-    if (jobs <= 1 || cfgs.empty() || factories.empty()) {
+    if (jobs <= 1 || cfgs.empty() || specs.empty()) {
         for (std::size_t c = 0; c < cfgs.size(); ++c) {
             const unsigned units = unitsFor(cfgs[c], opts);
             sim::Simulator simulator(simConfigFor(cfgs[c], opts));
-            for (const EngineFactory &factory : factories)
-                simulator.addEngine(factory(units));
+            coherence::MultiLimitedEngine *multi = nullptr;
+            std::vector<std::size_t> lane(specs.size(), kNone);
+            std::vector<std::size_t> slot(specs.size(), kNone);
+            std::size_t nextSlot = 0;
+            std::size_t nextLane = 0;
+            for (std::size_t f = 0; f < specs.size(); ++f) {
+                if (collapse && specs[f].limitedPointers != 0) {
+                    if (!multi) {
+                        auto engine = std::make_unique<
+                            coherence::MultiLimitedEngine>(
+                            units, lanePointers);
+                        multi = engine.get();
+                        simulator.addEngine(std::move(engine));
+                        ++nextSlot;
+                    }
+                    lane[f] = nextLane++;
+                    continue;
+                }
+                simulator.addEngine(specs[f].make(units));
+                slot[f] = nextSlot++;
+            }
             if (opts.usePreparedTraces && opts.streamReplay) {
                 // Out-of-core: one chunk window resident per replay.
                 const auto stored =
@@ -195,8 +262,11 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
             } else {
                 runWorkload(cfgs[c], opts, simulator);
             }
-            for (std::size_t e = 0; e < simulator.numEngines(); ++e)
-                results[c].push_back(simulator.engine(e).results());
+            for (std::size_t f = 0; f < specs.size(); ++f)
+                results[c].push_back(
+                    lane[f] != kNone
+                        ? multi->laneResults(lane[f])
+                        : simulator.engine(slot[f]).results());
         }
         return results;
     }
@@ -254,7 +324,7 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
     sim::SweepRunner runner(jobs);
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
         const unsigned units = unitsFor(cfgs[c], opts);
-        for (const EngineFactory &factory : factories) {
+        for (const EngineSpec &spec : specs) {
             sim::SweepPoint point;
             point.name = cfgs[c].name;
             point.sim = simConfigFor(cfgs[c], opts);
@@ -263,7 +333,16 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
             // runner collapses them into a single fused column pass.
             if (opts.fusedReplay)
                 point.fuseKey = "workload#" + std::to_string(c);
-            point.engines = [&factory, units] {
+            // Multi-configuration hint: the runner collapses the
+            // fused group's DiriNB cells into one shared-table
+            // engine (sim/sweep.hh).  Without fusion the cells stay
+            // standalone jobs, where the hint has nothing to pair
+            // with — the factory below is always the fallback.
+            if (opts.multiConfig) {
+                point.multiPointers = spec.limitedPointers;
+                point.multiUnits = units;
+            }
+            point.engines = [&factory = spec.make, units] {
                 std::vector<
                     std::unique_ptr<coherence::CoherenceEngine>>
                     engines;
@@ -290,9 +369,9 @@ runMatrix(const std::vector<gen::WorkloadConfig> &cfgs,
     }
     std::vector<sim::SweepPointResult> points = runner.run();
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
-        for (std::size_t f = 0; f < factories.size(); ++f) {
+        for (std::size_t f = 0; f < specs.size(); ++f) {
             results[c].push_back(std::move(
-                points[c * factories.size() + f].engines.front()));
+                points[c * specs.size() + f].engines.front()));
         }
     }
     return results;
@@ -321,20 +400,33 @@ limitedFactory(unsigned nPointers,
     };
 }
 
+/**
+ * A DiriNB cell.  Collapsible into a multi-config lane only without
+ * a directory cache: eviction state is per-configuration, so finite-
+ * cache runs always use the independent engine.
+ */
+EngineSpec
+limitedSpec(unsigned nPointers,
+            const directory::DirCacheConfig &dirCache = {})
+{
+    return {limitedFactory(nPointers, dirCache),
+            dirCache.enabled ? 0u : nPointers};
+}
+
 } // namespace
 
 Evaluation
 evaluateWorkloads(const std::vector<gen::WorkloadConfig> &cfgs,
                   const EvalOptions &opts)
 {
-    const std::vector<EngineFactory> factories = {
-        invalFactory(nullptr, opts.dirCache),
-        limitedFactory(1, opts.dirCache),
-        [](unsigned units) {
+    const std::vector<EngineSpec> specs = {
+        {invalFactory(nullptr, opts.dirCache)},
+        limitedSpec(1, opts.dirCache),
+        {[](unsigned units) {
             return std::make_unique<coherence::DragonEngine>(units);
-        },
+        }},
     };
-    const auto matrix = runMatrix(cfgs, opts, factories);
+    const auto matrix = runMatrix(cfgs, opts, specs);
 
     Evaluation eval;
     eval.average.trace = "average";
@@ -376,10 +468,10 @@ limitedSweep(const std::vector<gen::WorkloadConfig> &cfgs,
              const std::vector<unsigned> &pointerCounts,
              const EvalOptions &opts)
 {
-    std::vector<EngineFactory> factories;
+    std::vector<EngineSpec> specs;
     for (unsigned i : pointerCounts)
-        factories.push_back(limitedFactory(i, opts.dirCache));
-    const auto matrix = runMatrix(cfgs, opts, factories);
+        specs.push_back(limitedSpec(i, opts.dirCache));
+    const auto matrix = runMatrix(cfgs, opts, specs);
 
     std::vector<coherence::EngineResults> merged(pointerCounts.size());
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
@@ -397,7 +489,7 @@ invalWithDirectory(const std::vector<gen::WorkloadConfig> &cfgs,
                    const EvalOptions &opts)
 {
     const auto matrix = runMatrix(
-        cfgs, opts, {invalFactory(&factory, opts.dirCache)});
+        cfgs, opts, {{invalFactory(&factory, opts.dirCache)}});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
@@ -412,9 +504,9 @@ berkeleyResults(const std::vector<gen::WorkloadConfig> &cfgs,
                 const EvalOptions &opts)
 {
     const auto matrix = runMatrix(
-        cfgs, opts, {[](unsigned units) {
+        cfgs, opts, {{[](unsigned units) {
             return std::make_unique<coherence::BerkeleyEngine>(units);
-        }});
+        }}});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
@@ -430,7 +522,7 @@ invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
                       const EvalOptions &opts)
 {
     const auto matrix = runMatrix(
-        cfgs, opts, {[&geometry](unsigned units) {
+        cfgs, opts, {{[&geometry](unsigned units) {
             coherence::InvalEngineConfig cfg;
             cfg.nUnits = units;
             cfg.cacheFactory = [&geometry]() {
@@ -438,7 +530,7 @@ invalWithFiniteCaches(const std::vector<gen::WorkloadConfig> &cfgs,
                     geometry);
             };
             return std::make_unique<coherence::InvalEngine>(cfg);
-        }});
+        }}});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
@@ -454,7 +546,7 @@ invalWithDirCache(const std::vector<gen::WorkloadConfig> &cfgs,
                   const EvalOptions &opts)
 {
     const auto matrix =
-        runMatrix(cfgs, opts, {invalFactory(nullptr, dirCache)});
+        runMatrix(cfgs, opts, {{invalFactory(nullptr, dirCache)}});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
@@ -471,7 +563,7 @@ limitedWithDirCache(const std::vector<gen::WorkloadConfig> &cfgs,
                     const EvalOptions &opts)
 {
     const auto matrix =
-        runMatrix(cfgs, opts, {limitedFactory(nPointers, dirCache)});
+        runMatrix(cfgs, opts, {limitedSpec(nPointers, dirCache)});
 
     coherence::EngineResults merged;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {

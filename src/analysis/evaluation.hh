@@ -92,6 +92,19 @@ void setDefaultFusedReplay(bool fused);
 bool defaultFusedReplay();
 /** @} */
 
+/**
+ * @name Process-wide default for EvalOptions::multiConfig.
+ *
+ * Same pattern again: the multi-configuration A/B hatch (--no-multi
+ * on the drivers) flips this once to make every defaulted evaluation
+ * run its DiriNB cells as independent LimitedEngines, pre-collapse
+ * style, for comparison runs.
+ * @{
+ */
+void setDefaultMultiConfig(bool multi);
+bool defaultMultiConfig();
+/** @} */
+
 /** Options for evaluation runs. */
 struct EvalOptions
 {
@@ -144,6 +157,21 @@ struct EvalOptions
      * defaultFusedReplay() (true unless a driver lowered it).
      */
     bool fusedReplay = defaultFusedReplay();
+    /**
+     * Collapse a run's DiriNB cells into one
+     * coherence::MultiLimitedEngine: one shared block table whose
+     * entries hold every pointer count's state side by side, so the
+     * Dir1NB…Dir8NB axis costs one probe + k lane updates per
+     * reference instead of k probes.  Applies wherever a run (serial)
+     * or a fused sweep group (parallel) carries at least two DiriNB
+     * cells; results are bit-identical to independent engines (golden
+     * + differential suites).  Automatically falls back to
+     * independent LimitedEngines when a finite directory cache is
+     * configured — eviction state is per-configuration, which would
+     * undo the sharing.  Initialised from defaultMultiConfig() (true
+     * unless a driver lowered it via --no-multi).
+     */
+    bool multiConfig = defaultMultiConfig();
     /**
      * Finite directory-entry cache applied to the directory-based
      * engines (inval and DiriNB; the snoopy engines have no directory

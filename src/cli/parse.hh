@@ -13,11 +13,13 @@
 #ifndef DIRSIM_CLI_PARSE_HH
 #define DIRSIM_CLI_PARSE_HH
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 namespace dirsim::cli
 {
@@ -114,6 +116,51 @@ parseDoubleInRange(const char *text, const std::string &what,
         std::exit(2);
     }
     return value;
+}
+
+/**
+ * Parse @p text as a comma-separated list of names, each of which
+ * must appear in @p allowed.
+ *
+ * An empty list, an empty element ("a,,b") or an unknown name exits
+ * with status 2 and a message naming @p what plus the accepted
+ * vocabulary — a misspelled scheme must be a hard error, not a
+ * silently empty sweep.  Duplicates are allowed and preserved; order
+ * is the caller's.
+ */
+inline std::vector<std::string>
+parseNameList(const char *text, const std::string &what,
+              const std::vector<std::string> &allowed)
+{
+    const auto die = [&](const std::string &why) {
+        std::cerr << "error: invalid " << what << " value: " << why
+                  << " (valid:";
+        for (const std::string &name : allowed)
+            std::cerr << " " << name;
+        std::cerr << ")\n";
+        std::exit(2);
+    };
+    const std::string s = text == nullptr ? "" : text;
+    if (s.empty())
+        die("empty list");
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    while (begin <= s.size()) {
+        const std::size_t comma = s.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        const std::string name = s.substr(begin, end - begin);
+        if (name.empty())
+            die("empty element in '" + s + "'");
+        if (std::find(allowed.begin(), allowed.end(), name) ==
+            allowed.end())
+            die("unknown name '" + name + "'");
+        names.push_back(name);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return names;
 }
 
 } // namespace dirsim::cli

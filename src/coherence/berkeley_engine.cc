@@ -69,22 +69,7 @@ BerkeleyEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 void
 BerkeleyEngine::accessPrepared(const PreparedSlice &slice)
 {
-    // Strip-mined dispatch: the type lane is pre-decoded per strip
-    // and the block-table probe prefetched ahead (prepared_loop.hh).
-    // The class is final, so the access() call devirtualises and
-    // inlines into the strip loop.
-    const auto dispatch =
-        [this](unsigned unit, trace::RefType type, mem::BlockId block) {
-            access(unit, type, block);
-        };
-    if (_blocks.prefetchProfitable()) {
-        forEachPreparedRef(
-            slice,
-            [this](mem::BlockId block) { _blocks.prefetch(block); },
-            dispatch);
-    } else {
-        forEachPreparedRef(slice, dispatch);
-    }
+    stripMinedAccessPrepared(*this, _blocks, slice);
 }
 
 void

@@ -44,12 +44,6 @@ LimitedEngine::reset()
         _dirCache->clear();
 }
 
-bool
-LimitedEngine::holds(const BlockState &st, unsigned unit) const
-{
-    return (st.mask >> unit) & 1;
-}
-
 void
 LimitedEngine::access(unsigned unit, trace::RefType type,
                       mem::BlockId block)
@@ -77,22 +71,7 @@ LimitedEngine::accessBatch(const BlockAccess *accs, std::size_t n)
 void
 LimitedEngine::accessPrepared(const PreparedSlice &slice)
 {
-    // Strip-mined dispatch: the type lane is pre-decoded per strip
-    // and the block-table probe prefetched ahead (prepared_loop.hh).
-    // The class is final, so the access() call devirtualises and
-    // inlines into the strip loop.
-    const auto dispatch =
-        [this](unsigned unit, trace::RefType type, mem::BlockId block) {
-            access(unit, type, block);
-        };
-    if (_blocks.prefetchProfitable()) {
-        forEachPreparedRef(
-            slice,
-            [this](mem::BlockId block) { _blocks.prefetch(block); },
-            dispatch);
-    } else {
-        forEachPreparedRef(slice, dispatch);
-    }
+    stripMinedAccessPrepared(*this, _blocks, slice);
 }
 
 void
@@ -133,83 +112,24 @@ void
 LimitedEngine::handleRead(unsigned unit, mem::BlockId block,
                           BlockState &st)
 {
-    if (holds(st, unit)) {
-        _results.events.record(Event::RdHit);
+    // The transition core lives in limited_policy.hh, shared with
+    // MultiLimitedEngine; only the directory-cache touch between the
+    // hit test and the miss service is this engine's own.
+    if (laneReadHit(st, unit, _results))
         return;
-    }
-
     touchDirCache(block);
-
-    if (!st.referenced) {
-        st.referenced = true;
-        _results.events.record(Event::RmFirstRef);
-    } else if (st.owner >= 0) {
-        // Write back; with a single pointer the ex-owner is also
-        // invalidated, otherwise it keeps a clean copy.
-        _results.events.record(Event::RmBlkDrty);
-        st.owner = -1;
-        if (_nPointers == 1) {
-            st.mask = 0;
-            st.fillq = 0;
-            // The forced removal of the ex-owner's copy is part of
-            // the miss service, not an extra displacement.
-        }
-    } else if (st.mask != 0) {
-        _results.events.record(Event::RmBlkCln);
-    } else {
-        _results.events.record(Event::RmMemory);
-    }
-
-    unsigned nHolders = std::popcount(st.mask);
-    if (nHolders == 1)
-        ++_results.holderGrowth12;
-    if (nHolders == _nPointers) {
-        // Displace the oldest holder (the queue's low byte) to free
-        // a pointer for the new copy.
-        st.mask &= ~(std::uint64_t(1) << (st.fillq & 0xff));
-        st.fillq >>= 8;
-        --nHolders;
-        ++_results.displacementInvals;
-    }
-    st.mask |= std::uint64_t(1) << unit;
-    st.fillq |= std::uint64_t(unit) << (8 * nHolders);
+    laneReadMiss(st, unit, _nPointers, _results);
 }
 
 void
 LimitedEngine::handleWrite(unsigned unit, mem::BlockId block,
                            BlockState &st)
 {
-    if (holds(st, unit) && st.owner == static_cast<int>(unit)) {
-        _results.events.record(Event::WhBlkDrty);
+    if (laneWriteDirtyHit(st, unit, _results))
         return;
-    }
-
     // A miss, or a hit to a clean copy: the directory is consulted.
     touchDirCache(block);
-
-    if (holds(st, unit)) {
-        assert(st.owner < 0);
-        const unsigned fanout =
-            std::popcount(st.mask) - 1u;
-        _results.events.record(fanout == 0 ? Event::WhBlkClnExcl
-                                           : Event::WhBlkClnShared);
-        _results.whClnFanout.sample(fanout);
-    } else if (!st.referenced) {
-        st.referenced = true;
-        _results.events.record(Event::WmFirstRef);
-    } else if (st.owner >= 0) {
-        _results.events.record(Event::WmBlkDrty);
-    } else if (st.mask != 0) {
-        _results.events.record(Event::WmBlkCln);
-        _results.wmClnFanout.sample(
-            static_cast<unsigned>(std::popcount(st.mask)));
-    } else {
-        _results.events.record(Event::WmMemory);
-    }
-
-    st.mask = std::uint64_t(1) << unit;
-    st.fillq = unit;
-    st.owner = static_cast<std::int16_t>(unit);
+    laneWrite(st, unit, _results);
 }
 
 } // namespace dirsim::coherence

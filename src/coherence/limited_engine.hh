@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "coherence/engine.hh"
+#include "coherence/limited_policy.hh"
 #include "directory/dir_cache.hh"
 #include "util/flat_map.hh"
 
@@ -38,7 +39,7 @@ class LimitedEngine final : public CoherenceEngine
      *        most 8 after clamping to nUnits — the paper's no-
      *        broadcast sweep tops out at Dir8NB, and the bound keeps
      *        every block's fill-order queue inline in one 64-bit
-     *        word (see BlockState::fillq).
+     *        word (see LimitedLane::fillq).
      * @param dirCache Optional finite directory-entry cache; the
      *        default (disabled) keeps an entry per block.
      */
@@ -72,28 +73,14 @@ class LimitedEngine final : public CoherenceEngine
     }
 
   private:
-    struct BlockState
-    {
-        /**
-         * Holder membership, one bit per unit (the constructor caps
-         * units at 64), giving the hot-path holds() test a single
-         * mask probe with no heap indirection.  The holder count is
-         * popcount(mask).
-         */
-        std::uint64_t mask = 0;
-        /**
-         * The same holders as a byte queue in fill order, oldest in
-         * the low byte (hence <= 8 pointers): pushing is an OR at
-         * byte popcount(mask), displacing the oldest is a right
-         * shift.  Keeping the queue inline means a block's whole
-         * directory state is one cache line with no heap spill.
-         */
-        std::uint64_t fillq = 0;
-        std::int16_t owner = -1;
-        bool referenced = false;
-    };
+    /**
+     * A block's whole directory state is one LimitedLane — the shared
+     * transition core in limited_policy.hh operates on it directly,
+     * so this engine and MultiLimitedEngine provably execute the same
+     * protocol.
+     */
+    using BlockState = LimitedLane;
 
-    bool holds(const BlockState &st, unsigned unit) const;
     void handleRead(unsigned unit, mem::BlockId block, BlockState &st);
     void handleWrite(unsigned unit, mem::BlockId block,
                      BlockState &st);

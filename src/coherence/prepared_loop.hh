@@ -105,6 +105,42 @@ forEachPreparedRef(const PreparedSlice &slice, AccessFn &&access)
     }
 }
 
+/**
+ * The whole accessPrepared body every block-table engine shares:
+ * strip-mined dispatch into @p engine .access(), with the probe
+ * prefetch enabled iff @p blocks (the engine's per-block FlatMap) has
+ * outgrown the cache (util::FlatMap::prefetchProfitable()).  The
+ * prefetch-or-not branch is hoisted out of the loop here, once, so
+ * every engine's override is a single call:
+ *
+ *   void Engine::accessPrepared(const PreparedSlice &slice)
+ *   {
+ *       stripMinedAccessPrepared(*this, _blocks, slice);
+ *   }
+ *
+ * The engine classes are final, so the access() call devirtualises
+ * and inlines into the strip loop.
+ */
+template <typename Engine, typename BlockTable>
+inline void
+stripMinedAccessPrepared(Engine &engine, BlockTable &blocks,
+                         const PreparedSlice &slice)
+{
+    const auto dispatch =
+        [&engine](unsigned unit, trace::RefType type,
+                  mem::BlockId block) {
+            engine.access(unit, type, block);
+        };
+    if (blocks.prefetchProfitable()) {
+        forEachPreparedRef(
+            slice,
+            [&blocks](mem::BlockId block) { blocks.prefetch(block); },
+            dispatch);
+    } else {
+        forEachPreparedRef(slice, dispatch);
+    }
+}
+
 } // namespace dirsim::coherence
 
 #endif // DIRSIM_COHERENCE_PREPARED_LOOP_HH

@@ -1,13 +1,59 @@
 #include "sim/sweep.hh"
 
+#include <cstddef>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 
+#include "coherence/multi_limited_engine.hh"
 #include "sim/thread_pool.hh"
 
 namespace dirsim::sim
 {
+
+namespace
+{
+
+constexpr std::size_t kNoLane = static_cast<std::size_t>(-1);
+
+/** A fusion group's multi-configuration collapse plan. */
+struct CollapsePlan
+{
+    /** Pointer counts of the collapsible cells, submission order. */
+    std::vector<unsigned> lanePointers;
+    unsigned units = 0;
+    bool collapse = false;
+};
+
+/**
+ * Decide whether the group [begin, end) collapses its DiriNB cells
+ * into one MultiLimitedEngine: at least two cells carry a
+ * multiPointers hint and all of them agree on the unit count.
+ */
+CollapsePlan
+planCollapse(const std::vector<SweepPoint> &points, std::size_t begin,
+             std::size_t end)
+{
+    CollapsePlan plan;
+    bool unitsAgree = true;
+    for (std::size_t i = begin; i < end; ++i) {
+        const SweepPoint &point = points[i];
+        if (point.multiPointers == 0)
+            continue;
+        if (point.multiUnits == 0)
+            throw std::invalid_argument(
+                "SweepRunner: multiPointers needs multiUnits");
+        if (plan.lanePointers.empty())
+            plan.units = point.multiUnits;
+        else if (point.multiUnits != plan.units)
+            unitsAgree = false;
+        plan.lanePointers.push_back(point.multiPointers);
+    }
+    plan.collapse = unitsAgree && plan.lanePointers.size() >= 2;
+    return plan;
+}
+
+} // namespace
 
 SweepRunner::SweepRunner(unsigned jobs)
     : _jobs(ThreadPool::resolveThreads(jobs))
@@ -46,6 +92,20 @@ SweepRunner::plannedGroupSizes() const
     return sizes;
 }
 
+std::vector<std::size_t>
+SweepRunner::plannedMultiLanes() const
+{
+    std::vector<std::size_t> lanes;
+    std::size_t begin = 0;
+    for (const std::size_t size : plannedGroupSizes()) {
+        const CollapsePlan plan =
+            planCollapse(_points, begin, begin + size);
+        lanes.push_back(plan.collapse ? plan.lanePointers.size() : 0);
+        begin += size;
+    }
+    return lanes;
+}
+
 std::vector<SweepPointResult>
 SweepRunner::run()
 {
@@ -65,12 +125,37 @@ SweepRunner::run()
         tasks.push_back([this, begin, end] {
             const SweepPoint &lead = _points[begin];
             Simulator simulator(lead.sim);
-            std::vector<std::size_t> engineCount(end - begin);
+            // Multi-configuration collapse: the group's DiriNB cells
+            // (multiPointers hints) become lanes of one shared
+            // MultiLimitedEngine — one block-table probe per
+            // reference for the whole pointer-count row.  Everyone
+            // else (and every cell when the plan falls back) builds
+            // its own engines.
+            const CollapsePlan plan =
+                planCollapse(_points, begin, end);
+            coherence::MultiLimitedEngine *multi = nullptr;
+            std::vector<std::size_t> lane(end - begin, kNoLane);
+            std::vector<std::vector<std::size_t>> slots(end - begin);
+            std::size_t nextSlot = 0;
+            std::size_t nextLane = 0;
             for (std::size_t i = begin; i < end; ++i) {
+                if (plan.collapse && _points[i].multiPointers != 0) {
+                    if (!multi) {
+                        auto engine = std::make_unique<
+                            coherence::MultiLimitedEngine>(
+                            plan.units, plan.lanePointers);
+                        multi = engine.get();
+                        simulator.addEngine(std::move(engine));
+                        ++nextSlot;
+                    }
+                    lane[i - begin] = nextLane++;
+                    continue;
+                }
                 auto engines = _points[i].engines();
-                engineCount[i - begin] = engines.size();
-                for (auto &engine : engines)
+                for (auto &engine : engines) {
                     simulator.addEngine(std::move(engine));
+                    slots[i - begin].push_back(nextSlot++);
+                }
             }
             std::uint64_t refs;
             if (lead.spans) {
@@ -83,16 +168,19 @@ SweepRunner::run()
                 refs = simulator.run(*source);
             }
             std::vector<SweepPointResult> out(end - begin);
-            std::size_t e = 0;
             for (std::size_t i = begin; i < end; ++i) {
                 SweepPointResult &res = out[i - begin];
                 res.name = _points[i].name;
                 res.refs = refs;
-                res.engines.reserve(engineCount[i - begin]);
-                for (std::size_t k = 0; k < engineCount[i - begin];
-                     ++k, ++e)
+                if (lane[i - begin] != kNoLane) {
                     res.engines.push_back(
-                        simulator.engine(e).results());
+                        multi->laneResults(lane[i - begin]));
+                    continue;
+                }
+                res.engines.reserve(slots[i - begin].size());
+                for (const std::size_t slot : slots[i - begin])
+                    res.engines.push_back(
+                        simulator.engine(slot).results());
             }
             return out;
         });

@@ -144,6 +144,25 @@ struct SweepPoint
      * point standalone.
      */
     std::string fuseKey;
+
+    /**
+     * Multi-configuration collapse hint.  Nonzero → this point's
+     * engine is a plain DiriNB LimitedEngine (no directory cache)
+     * with this pointer count over @ref multiUnits caches, and the
+     * runner may run it as one lane of a shared
+     * coherence::MultiLimitedEngine together with the other such
+     * cells of its fusion group: one block-table probe per reference
+     * serves every pointer count, results fanned back to their cells
+     * (bit-identical to independent engines — the differential suite
+     * holds it to that).  The @ref engines factory must still build
+     * the equivalent independent engine; it is the fallback used
+     * when the group ends up with fewer than two collapsible cells
+     * or the unit counts disagree.  Zero (the default) always uses
+     * the factory.
+     */
+    unsigned multiPointers = 0;
+    /** Unit count for @ref multiPointers; required nonzero with it. */
+    unsigned multiUnits = 0;
 };
 
 /** Outcome of one SweepPoint. */
@@ -189,6 +208,15 @@ class SweepRunner
      * (test/diagnostic hook: all-ones means no fusion will happen).
      */
     std::vector<std::size_t> plannedGroupSizes() const;
+
+    /**
+     * Per fusion group (same order as plannedGroupSizes()), the
+     * number of points that will collapse into one shared
+     * MultiLimitedEngine — 0 when the group runs every point's own
+     * engine factory (fewer than two multiPointers cells, or
+     * disagreeing multiUnits).
+     */
+    std::vector<std::size_t> plannedMultiLanes() const;
 
   private:
     unsigned _jobs;

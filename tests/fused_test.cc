@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/multi_limited_engine.hh"
 #include "gen/workload.hh"
 #include "gen/workloads.hh"
 #include "sim/fused_replay.hh"
@@ -218,6 +219,41 @@ TEST(FusedReplayEquivalence, FusedStreamedSweepMatchesGolden)
         }
     }
     EXPECT_EQ(repo.stats().builds, 3u);
+}
+
+/**
+ * The multi-configuration collapse against the seed: one
+ * MultiLimitedEngine with lanes {1, 2} replayed through the default
+ * fused path lands on the dir1nb and dir2nb golden digests — name
+ * included — for every standard workload.  The digests were recorded
+ * from independent node-based engines, so this pins the shared-table
+ * lanes to the seed semantics bit for bit.
+ */
+TEST(FusedReplayEquivalence, MultiConfigLanesMatchGolden)
+{
+    const std::vector<gen::WorkloadConfig> workloads =
+        gen::standardWorkloads();
+    ASSERT_EQ(workloads.size(), 3u);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::shared_ptr<const trace::PreparedTrace> prepared =
+            sim::TraceRepository::global().get(workloads[w]);
+        sim::Simulator simulator{sim::SimConfig{}};
+        simulator.addEngine(
+            std::make_unique<coherence::MultiLimitedEngine>(
+                workloads[w].space.nProcesses,
+                std::vector<unsigned>{1, 2}));
+        simulator.run(*prepared);
+        const auto &multi =
+            static_cast<const coherence::MultiLimitedEngine &>(
+                simulator.engine(0));
+        ASSERT_EQ(multi.numLanes(), 2u);
+        EXPECT_EQ(digest(multi.laneResults(0)), kGolden[w][1])
+            << "lane dir1nb diverged on workload '"
+            << workloads[w].name << "'";
+        EXPECT_EQ(digest(multi.laneResults(1)), kGolden[w][2])
+            << "lane dir2nb diverged on workload '"
+            << workloads[w].name << "'";
+    }
 }
 
 /** Points with distinct fuse keys (or none) stay standalone. */

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <map>
 #include <optional>
 #include <set>
@@ -22,6 +24,7 @@
 #include "coherence/dragon_engine.hh"
 #include "coherence/inval_engine.hh"
 #include "coherence/limited_engine.hh"
+#include "coherence/multi_limited_engine.hh"
 #include "gen/rng.hh"
 
 namespace
@@ -353,6 +356,179 @@ TEST(ModelCheck, Dir1NbExhaustiveLength6)
             const Event got = observe(engine, sym);
             ASSERT_EQ(got, expected)
                 << "sequence " << seq << " step " << step;
+        }
+    }
+}
+
+// --- Multi-configuration lanes ---------------------------------------
+
+/**
+ * Reference specification of the general DiriNB model, written in the
+ * same literal style as the Dir1NB spec above: an ordered holder list
+ * (oldest first, at most i entries), an optional dirty owner, a seen
+ * set.  A read miss on a full list displaces the oldest holder; a
+ * read miss to a dirty block writes back, and with i == 1 also
+ * removes the ex-owner's copy; a write invalidates everyone else.
+ * The displacement and 1-to-2 growth counters are tracked so the
+ * engine's sharing statistics can be checked exactly, not just the
+ * event classification.
+ */
+class SpecDirINB
+{
+  public:
+    explicit SpecDirINB(unsigned pointers) : _pointers(pointers) {}
+
+    Event
+    access(unsigned unit, RefType type, std::uint64_t block)
+    {
+        auto &holders = _holders[block]; // oldest first
+        auto &dirty = _dirty[block];
+        const bool seen = _referenced.count(block) > 0;
+        const bool holds =
+            std::find(holders.begin(), holders.end(), unit) !=
+            holders.end();
+
+        if (type == RefType::Read) {
+            if (holds)
+                return Event::RdHit;
+            _referenced.insert(block);
+            Event event;
+            if (!seen) {
+                event = Event::RmFirstRef;
+            } else if (dirty.has_value()) {
+                event = Event::RmBlkDrty;
+                dirty.reset();
+                if (_pointers == 1)
+                    holders.clear(); // the single copy moves
+            } else if (!holders.empty()) {
+                event = Event::RmBlkCln;
+            } else {
+                event = Event::RmMemory;
+            }
+            if (holders.size() == 1)
+                ++holderGrowth12;
+            if (holders.size() == _pointers) {
+                holders.erase(holders.begin());
+                ++displacementInvals;
+            }
+            holders.push_back(unit);
+            return event;
+        }
+
+        // Write.
+        if (holds && dirty == unit)
+            return Event::WhBlkDrty;
+        _referenced.insert(block);
+        Event event;
+        if (holds) {
+            event = holders.size() == 1 ? Event::WhBlkClnExcl
+                                        : Event::WhBlkClnShared;
+        } else if (!seen) {
+            event = Event::WmFirstRef;
+        } else if (dirty.has_value()) {
+            event = Event::WmBlkDrty;
+        } else if (!holders.empty()) {
+            event = Event::WmBlkCln;
+        } else {
+            event = Event::WmMemory;
+        }
+        holders.clear();
+        holders.push_back(unit);
+        dirty = unit;
+        return event;
+    }
+
+    std::uint64_t holderGrowth12 = 0;
+    std::uint64_t displacementInvals = 0;
+
+  private:
+    unsigned _pointers;
+    std::map<std::uint64_t, std::vector<unsigned>> _holders;
+    std::map<std::uint64_t, std::optional<unsigned>> _dirty;
+    std::set<std::uint64_t> _referenced;
+};
+
+/** One access through the shared table; the event each lane records. */
+std::vector<Event>
+observeLanes(coherence::MultiLimitedEngine &multi, const Symbol &sym)
+{
+    const std::size_t k = multi.numLanes();
+    std::vector<std::array<std::uint64_t, coherence::numEvents>>
+        before(k);
+    for (std::size_t l = 0; l < k; ++l)
+        for (std::size_t e = 0; e < coherence::numEvents; ++e)
+            before[l][e] = multi.laneResults(l).events.count(
+                static_cast<Event>(e));
+    multi.access(sym.unit, sym.type, sym.block);
+    std::vector<Event> events(k, Event::Instr);
+    for (std::size_t l = 0; l < k; ++l) {
+        bool found = false;
+        for (std::size_t e = 0; e < coherence::numEvents; ++e) {
+            if (multi.laneResults(l).events.count(
+                    static_cast<Event>(e)) != before[l][e]) {
+                events[l] = static_cast<Event>(e);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            ADD_FAILURE() << "lane " << l << " recorded no event";
+    }
+    return events;
+}
+
+/**
+ * Every lane of the shared-table engine checked against its own
+ * literal DiriNB spec over every length-5 sequence of 3 units × 2
+ * blocks (12^5 = 248,832): per-step event equality per lane, plus
+ * end-of-sequence equality of the displacement and growth counters.
+ * Lanes {1, 2, 3} cover the degenerate single-copy protocol, a
+ * displacing middle configuration, and a full-map-equivalent one —
+ * side by side over one table, where cross-lane state bleed would be
+ * a new failure mode no single-engine test can see.
+ */
+TEST(ModelCheckMultiConfig, LanesExhaustiveLength5)
+{
+    constexpr unsigned units = 3;
+    constexpr unsigned blocks = 2;
+    constexpr unsigned alphabet = units * 2 * blocks; // 12
+    constexpr unsigned length = 5;
+    const std::vector<unsigned> lanes = {1, 2, 3};
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i)
+        total *= alphabet;
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        coherence::MultiLimitedEngine multi(units, lanes);
+        std::vector<SpecDirINB> specs;
+        for (const unsigned p : lanes)
+            specs.emplace_back(p);
+        std::uint64_t code = seq;
+        for (unsigned step = 0; step < length; ++step) {
+            const Symbol sym =
+                decode(static_cast<unsigned>(code % alphabet), units,
+                       blocks);
+            code /= alphabet;
+            const std::vector<Event> got = observeLanes(multi, sym);
+            for (std::size_t l = 0; l < specs.size(); ++l) {
+                const Event expected =
+                    specs[l].access(sym.unit, sym.type, sym.block);
+                ASSERT_EQ(got[l], expected)
+                    << "sequence " << seq << " step " << step
+                    << " lane dir" << lanes[l] << "nb: spec "
+                    << coherence::eventName(expected) << ", engine "
+                    << coherence::eventName(got[l]);
+            }
+        }
+        for (std::size_t l = 0; l < specs.size(); ++l) {
+            const coherence::EngineResults &r = multi.laneResults(l);
+            ASSERT_EQ(r.displacementInvals,
+                      specs[l].displacementInvals)
+                << "sequence " << seq << " lane dir" << lanes[l]
+                << "nb";
+            ASSERT_EQ(r.holderGrowth12, specs[l].holderGrowth12)
+                << "sequence " << seq << " lane dir" << lanes[l]
+                << "nb";
         }
     }
 }
