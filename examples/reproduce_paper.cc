@@ -31,6 +31,12 @@
  *   --schemes CSV  restrict the Section 6 DiriNB pointer sweep to
  *            the named configurations (dir1nb..dir8nb, in the order
  *            given); an unknown name is a hard error
+ *   --no-direct-gen  build prepared traces through the legacy
+ *            generateTrace + two-phase decode instead of the
+ *            single-pass direct generate-prepare pipeline (A/B
+ *            hatch; exhibits are bit-identical either way)
+ *   --gen-chunk-refs N  data references per direct-pipeline pack
+ *            chunk (default 65536)
  */
 
 #include <chrono>
@@ -123,6 +129,16 @@ main(int argc, char **argv)
             // the shared-table multi-configuration collapse.  Results
             // are bit-identical either way.
             analysis::setDefaultMultiConfig(false);
+        } else if (std::strcmp(argv[a], "--no-direct-gen") == 0) {
+            // A/B escape hatch: the legacy two-pass cold path instead
+            // of the single-pass direct generate-prepare pipeline.
+            // Results are bit-identical either way.
+            sim::TraceRepository::global().setDirectGen(false);
+        } else if (std::strcmp(argv[a], "--gen-chunk-refs") == 0) {
+            sim::TraceRepository::global().setDirectGenChunkRefs(
+                cli::parseUnsignedInRange(want(a, "--gen-chunk-refs"),
+                                          "--gen-chunk-refs", 1,
+                                          1u << 31));
         } else if (std::strcmp(argv[a], "--schemes") == 0) {
             const std::vector<std::string> allowed = {
                 "dir1nb", "dir2nb", "dir3nb", "dir4nb",

@@ -71,7 +71,10 @@ std::uint64_t expectedUniqueBlocks(const AddressSpaceConfig &cfg);
 class AddressSpace
 {
   public:
-    explicit AddressSpace(const AddressSpaceConfig &cfg) : _cfg(cfg) {}
+    explicit AddressSpace(const AddressSpaceConfig &cfg)
+        : _cfg(cfg), _privateHot(cfg.privateHotFrac)
+    {
+    }
 
     const AddressSpaceConfig &config() const { return _cfg; }
 
@@ -89,7 +92,7 @@ class AddressSpace
     {
         const std::uint64_t base = privateBase + pid * perProcStride;
         std::uint64_t block;
-        if (rng.chance(_cfg.privateHotFrac))
+        if (_privateHot(rng))
             block = rng.nextBelow(_cfg.privateHotBlocks);
         else
             block = rng.nextBelow(_cfg.privateBlocksPerProc);
@@ -190,6 +193,9 @@ class AddressSpace
     static constexpr std::uint64_t perCpuStride = 0x0010'0000ULL;
 
     AddressSpaceConfig _cfg;
+    /** Precomputed hot/cold threshold (same draw sequence as the
+     *  chance(privateHotFrac) call it replaces; see rng.hh). */
+    FixedChance _privateHot;
 };
 
 } // namespace dirsim::gen

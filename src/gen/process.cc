@@ -12,9 +12,11 @@ using trace::RefType;
 using trace::TraceRecord;
 
 ProcessEngine::ProcessEngine(std::uint16_t pid, const BehaviorConfig &cfg,
+                             const BehaviorSamplers &samplers,
                              const AddressSpace &space,
                              SharedState &shared, Rng &rng)
-    : _pid(pid), _cfg(cfg), _space(space), _shared(shared), _rng(rng)
+    : _pid(pid), _cfg(cfg), _smp(samplers), _space(space),
+      _shared(shared), _rng(rng)
 {
     // Start each process at a distinct point in its code region.
     _pc = pid * 17;
@@ -27,7 +29,7 @@ ProcessEngine::step(unsigned cpu)
     // Kernel entries happen regardless of user-level mode: interrupts
     // and system calls interleave with spinning and critical sections
     // alike.  Lock state is not advanced by a kernel step.
-    if (_rng.chance(_cfg.pSystem)) {
+    if (_smp.system(_rng)) {
         rec = stepSystem(cpu);
     } else {
         switch (_mode) {
@@ -51,14 +53,14 @@ TraceRecord
 ProcessEngine::stepSystem(unsigned cpu)
 {
     TraceRecord rec;
-    if (_rng.chance(_cfg.pOsInstr)) {
+    if (_smp.osInstr(_rng)) {
         rec = read(_space.osCodeAddr(_rng));
         rec.type = RefType::Instr;
     } else {
-        const std::uint64_t addr = _rng.chance(_cfg.pOsShared)
+        const std::uint64_t addr = _smp.osShared(_rng)
                                        ? _space.osSharedAddr(_rng)
                                        : _space.osPerCpuAddr(cpu, _rng);
-        rec = _rng.chance(_cfg.pOsWrite) ? write(addr) : read(addr);
+        rec = _smp.osWrite(_rng) ? write(addr) : read(addr);
     }
     rec.flags |= FlagSystem;
     return rec;
@@ -67,7 +69,7 @@ ProcessEngine::stepSystem(unsigned cpu)
 TraceRecord
 ProcessEngine::stepNormal()
 {
-    if (_rng.chance(_cfg.pInstr))
+    if (_smp.instr(_rng))
         return instrFetch();
 
     // Finish read-modify-write sequences before new work.
@@ -77,21 +79,18 @@ ProcessEngine::stepNormal()
         return write(addr);
     }
 
-    const std::size_t category = _rng.pickWeighted(
-        {_cfg.wPrivate, _cfg.wSharedRead, _cfg.wSharedWrite,
-         _cfg.wMigratory, _cfg.wLockAttempt});
+    const std::size_t category = _smp.category(_rng);
     switch (category) {
       case 0: { // Private data.
         const std::uint64_t addr = _space.privateAddr(_pid, _rng);
-        return _rng.chance(_cfg.pPrivateRead) ? read(addr) : write(addr);
+        return _smp.privateRead(_rng) ? read(addr) : write(addr);
       }
       case 1: { // Read-mostly shared data.
         const std::uint64_t addr = _space.sharedReadAddr(_rng);
-        return _rng.chance(_cfg.pSharedReadWrite) ? write(addr)
-                                                  : read(addr);
+        return _smp.sharedReadWrite(_rng) ? write(addr) : read(addr);
       }
       case 2: { // Producer/consumer shared slots.
-        if (_rng.chance(_cfg.pSharedSlotWrite))
+        if (_smp.sharedSlotWrite(_rng))
             return write(_space.sharedWriteOwnAddr(_pid, _rng));
         return read(_space.sharedWriteAddr(_rng));
       }
@@ -102,7 +101,7 @@ ProcessEngine::stepNormal()
         for (std::uint32_t w = 0; w < _cfg.migratoryWriteBurst; ++w)
             _pendingWrites.push_back(addr);
         if (_space.config().blocksPerMigratoryObject > 1 &&
-            _rng.chance(0.5)) {
+            _smp.secondMigratoryBlock(_rng)) {
             _pendingWrites.push_back(_space.migratoryAddr(obj, 1));
         }
         return read(addr);
@@ -137,7 +136,7 @@ ProcessEngine::stepSpinning()
     }
     // Spin loop body: a test read, interleaved with the loop's own
     // instruction fetches.
-    if (_rng.chance(_cfg.pSpinInstr))
+    if (_smp.spinInstr(_rng))
         return instrFetch();
     _sawFree = !lk.held;
     return read(lk.addr, FlagLockTest);
@@ -153,21 +152,21 @@ ProcessEngine::stepCritical()
         return write(_shared.locks[_lock].addr, FlagLockWrite);
     }
     --_critRemaining;
-    if (_rng.chance(_cfg.pInstr))
+    if (_smp.instr(_rng))
         return instrFetch();
     const std::uint64_t addr =
-        _rng.chance(_cfg.pCritProtected)
+        _smp.critProtected(_rng)
             ? _space.protectedAddr(static_cast<std::uint32_t>(_lock),
                                    _rng)
             : _space.privateAddr(_pid, _rng);
-    return _rng.chance(_cfg.pCritWrite) ? write(addr) : read(addr);
+    return _smp.critWrite(_rng) ? write(addr) : read(addr);
 }
 
 TraceRecord
 ProcessEngine::instrFetch()
 {
     // Sequential fetch with occasional branches back into the region.
-    if (_rng.chance(0.1))
+    if (_smp.instrBranch(_rng))
         _pc = _rng.nextBelow(_space.codeBlocks() * 4);
     else
         ++_pc;
@@ -203,7 +202,7 @@ ProcessEngine::pickLock()
     const std::size_t n_locks = _shared.locks.size();
     const std::size_t n_hot =
         std::min<std::size_t>(_cfg.nHotLocks, n_locks);
-    if (n_hot > 0 && _rng.chance(_cfg.hotLockFrac))
+    if (n_hot > 0 && _smp.hotLock(_rng))
         return _rng.nextBelow(n_hot);
     return _rng.nextBelow(n_locks);
 }
@@ -216,7 +215,7 @@ ProcessEngine::pickMigratoryObject()
     auto obj = static_cast<std::uint32_t>(_rng.nextBelow(n_objects));
     // Bias towards objects last owned by another process so the
     // migratory (dirty hand-off) pattern is exercised.
-    if (_shared.migratoryOwner[obj] == _pid && _rng.chance(0.7))
+    if (_shared.migratoryOwner[obj] == _pid && _smp.migratoryRebias(_rng))
         obj = static_cast<std::uint32_t>(_rng.nextBelow(n_objects));
     return obj;
 }

@@ -82,6 +82,53 @@ struct BehaviorConfig
     double pOsWrite = 0.20;        //!< OS data touch is a write.
 };
 
+/**
+ * Fixed-point samplers precomputed from one BehaviorConfig.
+ *
+ * Every probability the step functions consult per reference becomes
+ * a FixedChance/FixedWeighted threshold, built once per workload and
+ * shared (const) by all of its processes.  Kept outside BehaviorConfig
+ * so the config stays a plain value type — it is serialised field by
+ * field into the trace repository's cache key.  The draw sequence is
+ * provably identical to the double-math it replaces (see rng.hh), so
+ * traces stay bit-identical.
+ */
+struct BehaviorSamplers
+{
+    explicit BehaviorSamplers(const BehaviorConfig &cfg)
+        : system(cfg.pSystem), instr(cfg.pInstr),
+          category({cfg.wPrivate, cfg.wSharedRead, cfg.wSharedWrite,
+                    cfg.wMigratory, cfg.wLockAttempt}),
+          privateRead(cfg.pPrivateRead),
+          sharedReadWrite(cfg.pSharedReadWrite),
+          sharedSlotWrite(cfg.pSharedSlotWrite),
+          spinInstr(cfg.pSpinInstr), critProtected(cfg.pCritProtected),
+          critWrite(cfg.pCritWrite), hotLock(cfg.hotLockFrac),
+          osInstr(cfg.pOsInstr), osShared(cfg.pOsShared),
+          osWrite(cfg.pOsWrite), secondMigratoryBlock(0.5),
+          instrBranch(0.1), migratoryRebias(0.7)
+    {
+    }
+
+    FixedChance system;
+    FixedChance instr;
+    FixedWeighted category;
+    FixedChance privateRead;
+    FixedChance sharedReadWrite;
+    FixedChance sharedSlotWrite;
+    FixedChance spinInstr;
+    FixedChance critProtected;
+    FixedChance critWrite;
+    FixedChance hotLock;
+    FixedChance osInstr;
+    FixedChance osShared;
+    FixedChance osWrite;
+    /** The step functions' literal probabilities, precomputed too. */
+    FixedChance secondMigratoryBlock;
+    FixedChance instrBranch;
+    FixedChance migratoryRebias;
+};
+
 /** Shared mutable state that all processes of a workload act on. */
 struct SharedState
 {
@@ -97,11 +144,15 @@ class ProcessEngine
     /**
      * @param pid Process identifier stamped on emitted records.
      * @param cfg Behaviour mix (shared by all processes of a workload).
+     * @param samplers Fixed-point samplers built from @p cfg; must
+     *        outlive the engine (shared by all of a workload's
+     *        processes).
      * @param space Address-space layout; must outlive the engine.
      * @param shared Workload-wide lock/migratory state.
      * @param rng Workload-wide RNG (single stream for determinism).
      */
     ProcessEngine(std::uint16_t pid, const BehaviorConfig &cfg,
+                  const BehaviorSamplers &samplers,
                   const AddressSpace &space, SharedState &shared,
                   Rng &rng);
 
@@ -136,6 +187,7 @@ class ProcessEngine
 
     const std::uint16_t _pid;
     const BehaviorConfig &_cfg;
+    const BehaviorSamplers &_smp;
     const AddressSpace &_space;
     SharedState &_shared;
     Rng &_rng;

@@ -16,6 +16,7 @@
 #define DIRSIM_GEN_RNG_HH
 
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -132,6 +133,163 @@ class Rng
     }
 
     std::array<std::uint64_t, 4> _state;
+};
+
+/**
+ * Precomputed Bernoulli sampler, draw-for-draw identical to
+ * Rng::chance(p).
+ *
+ * chance(p) costs an int→double convert, a double multiply and a
+ * double compare per call; across the several draws every generated
+ * reference makes, that is a measurable slice of the cold path.  The
+ * probability is constant per workload, so the comparison folds into
+ * one integer threshold computed once:
+ *
+ *     nextDouble() < p
+ *   ⟺ (u >> 11) * 2^-53 < p          u = nextU64(), exact product
+ *   ⟺ (u >> 11) < p * 2^53           both sides scale exactly: the
+ *                                     53-bit integer times 2^-53 and,
+ *                                     for p in (0,1), p * 2^53 round
+ *                                     to no bits lost in IEEE double
+ *   ⟺ (u >> 11) < ceil(p * 2^53)     integer left-hand side
+ *
+ * The p<=0 / p>=1 early-outs consume no draw, exactly as chance()'s
+ * do, so replacing chance(p) with a FixedChance emits the same draw
+ * sequence bit for bit — the golden digest suite enforces this.
+ */
+class FixedChance
+{
+  public:
+    FixedChance() : FixedChance(0.0) {}
+
+    explicit FixedChance(double p)
+    {
+        if (p <= 0.0) {
+            _mode = Mode::AlwaysFalse;
+        } else if (p >= 1.0) {
+            _mode = Mode::AlwaysTrue;
+        } else {
+            _mode = Mode::Draw;
+            // p in (0,1) here, but a NaN slips past both guards the
+            // same way it does in chance(); it must still draw (and
+            // always fail) without tripping the UB of casting NaN.
+            _threshold = std::isnan(p)
+                             ? 0
+                             : static_cast<std::uint64_t>(
+                                   std::ceil(p * 0x1.0p53));
+        }
+    }
+
+    /** Bernoulli trial; consumes a draw iff chance(p) would. */
+    bool operator()(Rng &rng) const
+    {
+        if (_mode != Mode::Draw)
+            return _mode == Mode::AlwaysTrue;
+        return (rng.nextU64() >> 11) < _threshold;
+    }
+
+    /** Decision for mantissa @p u = nextU64() >> 11 (test hook; only
+     *  meaningful in draw mode). */
+    bool evalDraw(std::uint64_t u) const { return u < _threshold; }
+    /** True when operator() consumes a draw. */
+    bool draws() const { return _mode == Mode::Draw; }
+
+  private:
+    enum class Mode : std::uint8_t { AlwaysFalse, AlwaysTrue, Draw };
+
+    Mode _mode = Mode::AlwaysFalse;
+    std::uint64_t _threshold = 0;
+};
+
+/**
+ * Precomputed categorical sampler, draw-for-draw identical to
+ * Rng::pickWeighted over a fixed weight list.
+ *
+ * pickWeighted() always consumes exactly one draw and then classifies
+ * roll = fl(fl(u * 2^-53) * total) by sequential subtraction.  Every
+ * operation in that chain is a rounded multiply/subtract by constants
+ * — monotone non-decreasing in u — so the category as a function of
+ * the 53-bit mantissa u is a step function.  The constructor finds
+ * each step's exact integer boundary by binary search against a
+ * bit-faithful reimplementation of the double arithmetic
+ * (referencePick), and sampling becomes one draw plus at most
+ * kMaxCategories-1 integer compares.  No approximation is involved:
+ * the boundaries are exact, so the picked category matches
+ * pickWeighted for every possible u.
+ */
+class FixedWeighted
+{
+  public:
+    /** Most categories a sampler supports (the process engines use 5). */
+    static constexpr std::size_t kMaxCategories = 8;
+
+    FixedWeighted() = default;
+
+    explicit FixedWeighted(std::initializer_list<double> weights)
+    {
+        _n = weights.size();
+        std::array<double, kMaxCategories> w{};
+        std::size_t i = 0;
+        for (double v : weights)
+            w[i++] = v;
+        constexpr std::uint64_t top = 1ULL << 53;
+        for (std::size_t k = 0; k + 1 < _n; ++k) {
+            // Smallest u whose reference category is > k (monotone in
+            // u, so plain binary search over [0, 2^53]).
+            std::uint64_t lo = 0;
+            std::uint64_t hi = top;
+            while (lo < hi) {
+                const std::uint64_t mid = lo + (hi - lo) / 2;
+                if (referencePick(mid, w.data(), _n) > k)
+                    hi = mid;
+                else
+                    lo = mid + 1;
+            }
+            _cut[k] = lo;
+        }
+    }
+
+    /** Sample a category; consumes exactly one draw, like
+     *  pickWeighted. */
+    std::size_t operator()(Rng &rng) const
+    {
+        return pickFromDraw(rng.nextU64() >> 11);
+    }
+
+    /** Category for mantissa @p u = nextU64() >> 11 (test hook). */
+    std::size_t pickFromDraw(std::uint64_t u) const
+    {
+        std::size_t k = 0;
+        while (k + 1 < _n && u >= _cut[k])
+            ++k;
+        return k;
+    }
+
+    /**
+     * Bit-faithful reimplementation of Rng::pickWeighted's arithmetic
+     * for mantissa @p u: same accumulation order, same rounding, same
+     * fallthrough.  Public so equivalence tests can sweep it directly.
+     */
+    static std::size_t
+    referencePick(std::uint64_t u, const double *w, std::size_t n)
+    {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            total += w[i];
+        // (u * 2^-53) is exact for u < 2^53; only the * total rounds —
+        // identical to nextDouble() * total in pickWeighted.
+        double roll = static_cast<double>(u) * 0x1.0p-53 * total;
+        for (std::size_t i = 0; i < n; ++i) {
+            roll -= w[i];
+            if (roll < 0.0)
+                return i;
+        }
+        return n - 1;
+    }
+
+  private:
+    std::array<std::uint64_t, kMaxCategories> _cut{};
+    std::size_t _n = 0;
 };
 
 } // namespace dirsim::gen

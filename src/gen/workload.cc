@@ -6,7 +6,8 @@ namespace dirsim::gen
 {
 
 WorkloadSource::WorkloadSource(WorkloadConfig cfg)
-    : _cfg(std::move(cfg)), _space(_cfg.space), _rng(_cfg.seed)
+    : _cfg(std::move(cfg)), _space(_cfg.space),
+      _samplers(_cfg.behavior), _rng(_cfg.seed)
 {
     assert(_cfg.space.nProcesses >= _cfg.space.nCpus &&
            "need at least one process per CPU");
@@ -25,8 +26,8 @@ WorkloadSource::reset()
     _processes.clear();
     for (unsigned p = 0; p < _cfg.space.nProcesses; ++p) {
         _processes.push_back(std::make_unique<ProcessEngine>(
-            static_cast<std::uint16_t>(p), _cfg.behavior, _space,
-            _shared, _rng));
+            static_cast<std::uint16_t>(p), _cfg.behavior, _samplers,
+            _space, _shared, _rng));
     }
 
     _procOnCpu.clear();
@@ -56,7 +57,7 @@ WorkloadSource::reschedule(unsigned cpu)
         // ready queue.  Whether this migrates the process depends on
         // which CPU next picks it up.
         const std::size_t incoming = _readyQueue.front();
-        _readyQueue.erase(_readyQueue.begin());
+        _readyQueue.pop_front();
         _readyQueue.push_back(_procOnCpu[cpu]);
         _procOnCpu[cpu] = incoming;
         return;

@@ -14,6 +14,7 @@
 #define DIRSIM_GEN_WORKLOAD_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,14 +73,17 @@ class WorkloadSource final : public trace::RefSource
 
     WorkloadConfig _cfg;
     AddressSpace _space;
+    BehaviorSamplers _samplers;
     Rng _rng;
     SharedState _shared;
     std::vector<std::unique_ptr<ProcessEngine>> _processes;
 
     /** Process index currently on each CPU. */
     std::vector<std::size_t> _procOnCpu;
-    /** FIFO of runnable process indices not currently on a CPU. */
-    std::vector<std::size_t> _readyQueue;
+    /** FIFO of runnable process indices not currently on a CPU.  A
+     *  deque: reschedule() pops the front every quantum, which on a
+     *  vector is an O(n) erase — quadratic over a many-process run. */
+    std::deque<std::size_t> _readyQueue;
     /** Remaining references in each CPU's quantum. */
     std::vector<std::uint64_t> _quantumLeft;
 

@@ -1,73 +1,20 @@
 /**
  * @file
- * Minimal fixed-size thread pool for the sweep engine.
- *
- * Workers pull std::function tasks from a mutex-guarded FIFO queue.
- * The pool supports one pattern well — submit a batch of independent
- * jobs, then wait for all of them — which is exactly what a
- * protocol×workload sweep needs.  Tasks must not throw; callers wrap
- * their work and capture exceptions themselves (runOrdered does).  A
- * task that does throw is a contract violation: the worker reports
- * the exception's message to stderr and aborts the process, rather
- * than letting std::thread's default std::terminate hide what
- * happened.
+ * Compatibility shim: ThreadPool moved to util/thread_pool.hh so the
+ * gen layer's direct-to-prepared pipeline can fan packing work out
+ * without a gen→sim dependency cycle.  The sweep engine and its
+ * callers keep naming sim::ThreadPool.
  */
 
 #ifndef DIRSIM_SIM_THREAD_POOL_HH
 #define DIRSIM_SIM_THREAD_POOL_HH
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.hh"
 
 namespace dirsim::sim
 {
 
-/** Fixed set of worker threads draining a task queue. */
-class ThreadPool
-{
-  public:
-    /**
-     * @param nThreads Worker count; 0 means one per hardware thread
-     *        (at least one).
-     */
-    explicit ThreadPool(unsigned nThreads = 0);
-
-    /** Waits for queued tasks to finish, then joins the workers. */
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
-
-    /** Enqueue @p task for execution on some worker. */
-    void submit(std::function<void()> task);
-
-    /** Block until the queue is empty and no task is running. */
-    void wait();
-
-    unsigned numThreads() const
-    {
-        return static_cast<unsigned>(_workers.size());
-    }
-
-    /** nThreads resolved the way the constructor resolves it. */
-    static unsigned resolveThreads(unsigned nThreads);
-
-  private:
-    void workerLoop();
-
-    std::mutex _mutex;
-    std::condition_variable _taskReady; //!< Signals workers.
-    std::condition_variable _allIdle;   //!< Signals wait().
-    std::deque<std::function<void()>> _queue;
-    std::vector<std::thread> _workers;
-    std::size_t _active = 0; //!< Tasks currently executing.
-    bool _stopping = false;
-};
+using util::ThreadPool;
 
 } // namespace dirsim::sim
 

@@ -175,6 +175,27 @@ TraceRepository::diskCacheEnabled() const
     return !_disk.dir.empty();
 }
 
+void
+TraceRepository::setDirectGen(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _directGen = enabled;
+}
+
+bool
+TraceRepository::directGenEnabled() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _directGen;
+}
+
+void
+TraceRepository::setDirectGenChunkRefs(std::uint64_t chunkRefs)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _directCfg.chunkRefs = chunkRefs > 0 ? chunkRefs : 1;
+}
+
 RepoStats
 TraceRepository::stats() const
 {
@@ -331,6 +352,22 @@ TraceRepository::Ptr
 TraceRepository::build(const gen::WorkloadConfig &cfg,
                        const trace::PrepareOptions &opts) const
 {
+    bool direct;
+    gen::DirectGenConfig dg;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        direct = _directGen;
+        dg = _directCfg;
+    }
+    if (direct && !opts.timedStreams) {
+        // Single-pass cold path: generate straight into the prepared
+        // columns, with per-chunk packing overlapped on a pool
+        // worker.  Bit-identical to the legacy path below — the
+        // differential suite and the golden digests enforce it.
+        return std::make_shared<const trace::PreparedTrace>(
+            gen::generatePrepared(cfg, opts, dg));
+    }
+
     // Generation is serial by design: the reference interleaving is a
     // pure function of one RNG stream and the shared lock state.
     const trace::MemoryTrace raw = gen::generateTrace(cfg);
@@ -477,9 +514,23 @@ TraceRepository::getStored(const gen::WorkloadConfig &cfg,
                     store.chunkRefs = _disk.chunkRefs;
                 }
                 store.configFingerprint = hashKey(key, kPrintSeed);
-                gen::WorkloadSource source(cfg);
-                trace::spillFromSource(source, cfg.name, opts, tmp,
-                                       store);
+                bool direct;
+                gen::DirectGenConfig dg;
+                {
+                    std::lock_guard<std::mutex> lock(_mutex);
+                    direct = _directGen;
+                    dg = _directCfg;
+                }
+                if (direct) {
+                    // spillPrepared handles the timedStreams
+                    // fallback internally; the file is byte-
+                    // identical to spillFromSource either way.
+                    gen::spillPrepared(cfg, opts, tmp, store, dg);
+                } else {
+                    gen::WorkloadSource source(cfg);
+                    trace::spillFromSource(source, cfg.name, opts,
+                                           tmp, store);
+                }
                 if (::rename(tmp.c_str(), path.c_str()) != 0) {
                     ::unlink(tmp.c_str());
                     throw std::runtime_error(

@@ -193,6 +193,37 @@ PreparedTraceBuilder::finish()
 }
 
 PreparedTrace
+PreparedTrace::fromColumns(std::string name, const PrepareOptions &opts,
+                           std::uint64_t instrRefs, unsigned nUnits,
+                           unsigned nCpus,
+                           util::AlignedVector<std::uint32_t> block,
+                           util::AlignedVector<std::uint8_t> unit,
+                           util::AlignedVector<std::uint8_t> typeFlags)
+{
+    if (unit.size() != block.size() ||
+        typeFlags.size() != block.size())
+        throw std::invalid_argument(
+            "PreparedTrace::fromColumns: column lengths differ");
+    if (nUnits > maxDenseUnits || nCpus > maxDenseUnits)
+        throw std::invalid_argument(
+            "PreparedTrace::fromColumns: more than 256 units or CPUs");
+    if (opts.timedStreams)
+        throw std::invalid_argument(
+            "PreparedTrace::fromColumns: timed streams need the "
+            "two-phase builder");
+    PreparedTrace out;
+    out._name = std::move(name);
+    out._opts = opts;
+    out._instrRefs = instrRefs;
+    out._nUnits = nUnits;
+    out._nCpus = nCpus;
+    out._block = std::move(block);
+    out._unit = std::move(unit);
+    out._typeFlags = std::move(typeFlags);
+    return out;
+}
+
+PreparedTrace
 PreparedTrace::build(const MemoryTrace &trace,
                      const PrepareOptions &opts)
 {

@@ -208,6 +208,26 @@ class PreparedTrace
     static PreparedTrace build(const MemoryTrace &trace,
                                const PrepareOptions &opts = {});
 
+    /**
+     * Assemble a trace from already-finished columns — the exit of
+     * the direct generate→prepare pipeline (gen/direct_prepare.cc),
+     * which fills the columns without ever materialising a
+     * MemoryTrace.
+     *
+     * Caller contract (the class invariants build() establishes): the
+     * three columns are equal-length and ordered exactly as the
+     * stream's kept data references; @p unit holds first-seen dense
+     * indices below @p nUnits; @p nUnits and @p nCpus are at most 256.
+     * No per-CPU timed streams (use the builder for those).
+     */
+    static PreparedTrace
+    fromColumns(std::string name, const PrepareOptions &opts,
+                std::uint64_t instrRefs, unsigned nUnits,
+                unsigned nCpus,
+                util::AlignedVector<std::uint32_t> block,
+                util::AlignedVector<std::uint8_t> unit,
+                util::AlignedVector<std::uint8_t> typeFlags);
+
     const std::string &name() const { return _name; }
     const PrepareOptions &options() const { return _opts; }
 

@@ -923,11 +923,8 @@ writeStored(const PreparedTrace &trace, const std::string &path,
     PreparedTraceWriter writer(path, trace.name(), trace.options(),
                                store);
     writer.addInstrRefs(trace.instrRefs());
-    const std::uint32_t *block = trace.blockData();
-    const std::uint8_t *unit = trace.unitData();
-    const std::uint8_t *tf = trace.typeFlagsData();
-    for (std::size_t i = 0, n = trace.dataRefs(); i < n; ++i)
-        writer.appendData(block[i], unit[i], tf[i]);
+    writer.appendDataBulk(trace.blockData(), trace.unitData(),
+                          trace.typeFlagsData(), trace.dataRefs());
     if (trace.options().timedStreams) {
         const std::vector<PreparedCpuStream> &streams =
             trace.cpuStreams();

@@ -117,6 +117,35 @@ class PreparedTraceWriter
             flushChunk(_data, _dataEntries);
     }
 
+    /**
+     * Append @p n data references from parallel column arrays.
+     * Equivalent to n appendData() calls: the chunk buffer fills to
+     * the same flush boundaries, so the produced file is byte-
+     * identical whatever the caller's batching — the direct pipeline
+     * hands over generation-sized chunks, writeStored() whole traces.
+     */
+    void
+    appendDataBulk(const std::uint32_t *block, const std::uint8_t *unit,
+                   const std::uint8_t *typeFlags, std::size_t n)
+    {
+        while (n > 0) {
+            const std::size_t room = static_cast<std::size_t>(
+                _chunkRefs - _data.block.size());
+            const std::size_t take = n < room ? n : room;
+            _data.block.insert(_data.block.end(), block, block + take);
+            _data.unit.insert(_data.unit.end(), unit, unit + take);
+            _data.typeFlags.insert(_data.typeFlags.end(), typeFlags,
+                                   typeFlags + take);
+            _dataRefs += take;
+            block += take;
+            unit += take;
+            typeFlags += take;
+            n -= take;
+            if (_data.block.size() >= _chunkRefs)
+                flushChunk(_data, _dataEntries);
+        }
+    }
+
     /** Append one reference to CPU @p cpu's timed stream (timed
      *  stores only; includes instruction fetches). */
     void appendCpu(unsigned cpu, std::uint32_t block, std::uint8_t unit,

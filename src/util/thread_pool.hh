@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool.
+ *
+ * Workers pull std::function tasks from a mutex-guarded FIFO queue.
+ * The pool supports one pattern well — submit a batch of independent
+ * jobs, then wait for all of them — which is exactly what a
+ * protocol×workload sweep or a double-buffered generate→pack pipeline
+ * needs.  Tasks must not throw; callers wrap their work and capture
+ * exceptions themselves (sim::runOrdered does).  A task that does
+ * throw is a contract violation: the worker reports the exception's
+ * message to stderr and aborts the process, rather than letting
+ * std::thread's default std::terminate hide what happened.
+ *
+ * Lives in util (header-only) because both the sim layer (sweep
+ * fan-out, chunked decode) and the gen layer (direct-to-prepared
+ * column packing) drive it, and gen cannot depend on sim.
+ */
+
+#ifndef DIRSIM_UTIL_THREAD_POOL_HH
+#define DIRSIM_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dirsim::util
+{
+
+/** Fixed set of worker threads draining a task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param nThreads Worker count; 0 means one per hardware thread
+     *        (at least one).
+     */
+    explicit ThreadPool(unsigned nThreads = 0)
+    {
+        const unsigned n = resolveThreads(nThreads);
+        _workers.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+    }
+
+    /** Waits for queued tasks to finish, then joins the workers. */
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _stopping = true;
+        }
+        _taskReady.notify_all();
+        for (std::thread &worker : _workers)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _queue.push_back(std::move(task));
+        }
+        _taskReady.notify_one();
+    }
+
+    /** Block until the queue is empty and no task is running. */
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _allIdle.wait(
+            lock, [this] { return _queue.empty() && _active == 0; });
+    }
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /** nThreads resolved the way the constructor resolves it. */
+    static unsigned resolveThreads(unsigned nThreads)
+    {
+        if (nThreads != 0)
+            return nThreads;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw != 0 ? hw : 1;
+    }
+
+  private:
+    /**
+     * Run a task at the worker boundary.  Tasks must not throw (see
+     * the contract above); if one does, an unwinding exception would
+     * cross the std::thread boundary and std::terminate with no
+     * context, so report what escaped and abort deliberately.
+     */
+    static void runGuarded(const std::function<void()> &task)
+    {
+        try {
+            task();
+        } catch (const std::exception &e) {
+            std::fprintf(
+                stderr,
+                "dirsim::util::ThreadPool: task threw '%s'; tasks "
+                "must not throw (see src/util/thread_pool.hh) — "
+                "wrap work and capture exceptions as "
+                "sim::runOrdered does\n",
+                e.what());
+            std::abort();
+        } catch (...) {
+            std::fprintf(
+                stderr,
+                "dirsim::util::ThreadPool: task threw a "
+                "non-std::exception; tasks must not throw (see "
+                "src/util/thread_pool.hh) — wrap work and capture "
+                "exceptions as sim::runOrdered does\n");
+            std::abort();
+        }
+    }
+
+    void workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(_mutex);
+                _taskReady.wait(lock, [this] {
+                    return _stopping || !_queue.empty();
+                });
+                if (_queue.empty())
+                    return; // _stopping and nothing left to drain.
+                task = std::move(_queue.front());
+                _queue.pop_front();
+                ++_active;
+            }
+            runGuarded(task);
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                --_active;
+                if (_queue.empty() && _active == 0)
+                    _allIdle.notify_all();
+            }
+        }
+    }
+
+    std::mutex _mutex;
+    std::condition_variable _taskReady; //!< Signals workers.
+    std::condition_variable _allIdle;   //!< Signals wait().
+    std::deque<std::function<void()>> _queue;
+    std::vector<std::thread> _workers;
+    std::size_t _active = 0; //!< Tasks currently executing.
+    bool _stopping = false;
+};
+
+} // namespace dirsim::util
+
+#endif // DIRSIM_UTIL_THREAD_POOL_HH

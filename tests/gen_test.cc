@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "gen/address_space.hh"
 #include "gen/lock_set.hh"
@@ -56,6 +58,82 @@ TEST(Rng, NextBelowRespectsBound)
     Rng rng(7);
     for (int i = 0; i < 1000; ++i)
         EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+// The fixed-point samplers exist so the cold generate path can skip
+// per-draw double arithmetic; their whole contract is draw-for-draw
+// bit-identity with the Rng methods they replace.
+
+TEST(FixedChance, MatchesRngChanceDrawForDraw)
+{
+    // Mid-range, tiny, near-one, and both no-draw edges.
+    for (const double p : {0.0, 1e-9, 0.02, 0.31, 0.5, 0.997, 1.0}) {
+        const FixedChance fast(p);
+        Rng a(123);
+        Rng b(123);
+        for (int i = 0; i < 20000; ++i)
+            ASSERT_EQ(fast(a), b.chance(p))
+                << "p=" << p << " draw " << i;
+        // Same decision AND same draw consumption: the streams must
+        // still be in lockstep afterwards.
+        EXPECT_EQ(a.nextU64(), b.nextU64()) << "p=" << p;
+    }
+}
+
+TEST(FixedChance, EdgeProbabilitiesConsumeNoDraw)
+{
+    EXPECT_FALSE(FixedChance(0.0).draws());
+    EXPECT_FALSE(FixedChance(-3.0).draws());
+    EXPECT_FALSE(FixedChance(1.0).draws());
+    EXPECT_FALSE(FixedChance(2.0).draws());
+    EXPECT_TRUE(FixedChance(0.5).draws());
+}
+
+TEST(FixedWeighted, MatchesPickWeightedDrawForDraw)
+{
+    // The process engines' real 5-category shape.
+    const FixedWeighted fw({0.6, 0.2, 0.1, 0.06, 0.04});
+    Rng a(77);
+    Rng b(77);
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_EQ(fw(a), b.pickWeighted({0.6, 0.2, 0.1, 0.06, 0.04}))
+            << "draw " << i;
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(FixedWeighted, EveryMantissaMatchesTheDoubleReference)
+{
+    // The binary-searched cuts claim exact equality with the double
+    // arithmetic for EVERY 53-bit mantissa; sweep the extremes plus a
+    // large random sample (a dense uniform probe of the step
+    // boundaries' neighbourhoods).
+    const double w[] = {0.25, 0.5, 0.25};
+    const FixedWeighted fw({0.25, 0.5, 0.25});
+    const std::uint64_t top = 1ULL << 53;
+    EXPECT_EQ(fw.pickFromDraw(0),
+              FixedWeighted::referencePick(0, w, 3));
+    EXPECT_EQ(fw.pickFromDraw(top - 1),
+              FixedWeighted::referencePick(top - 1, w, 3));
+    Rng rng(99);
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t u = rng.nextU64() >> 11;
+        ASSERT_EQ(fw.pickFromDraw(u),
+                  FixedWeighted::referencePick(u, w, 3))
+            << "u=" << u;
+    }
+}
+
+TEST(FixedWeighted, ZeroWeightCategoriesMatchReference)
+{
+    // Zero-weight head and tail exercise the fallthrough paths.
+    const double w[] = {0.0, 1.0, 0.0};
+    const FixedWeighted fw({0.0, 1.0, 0.0});
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t u = rng.nextU64() >> 11;
+        ASSERT_EQ(fw.pickFromDraw(u),
+                  FixedWeighted::referencePick(u, w, 3));
+    }
 }
 
 TEST(Rng, NextBelowCoversRange)
@@ -341,6 +419,46 @@ TEST_F(WorkloadTest, TimeSlicingWhenProcessesExceedCpus)
     EXPECT_EQ(pids.size(), 6u) << "every process must get CPU time";
 }
 
+TEST_F(WorkloadTest, ManyProcessFifoOrderMatchesReferenceModel)
+{
+    // Regression for the ready-queue container change (vector →
+    // deque): with processes outnumbering CPUs the queue is never
+    // empty, the migration path never fires, and every pid the
+    // source emits is predicted exactly by an independent model of
+    // the FIFO time-slicer.  96 processes on 4 CPUs also makes any
+    // accidental O(n) front-erase painfully visible in test runtime.
+    WorkloadConfig cfg = smallConfig();
+    cfg.space.nProcesses = 96;
+    cfg.space.nCpus = 4;
+    cfg.totalRefs = 200'000;
+    cfg.quantumRefs = 37; // Odd, so expiries stagger across CPUs.
+
+    std::vector<std::size_t> procOnCpu;
+    std::deque<std::size_t> ready;
+    for (unsigned c = 0; c < cfg.space.nCpus; ++c)
+        procOnCpu.push_back(c);
+    for (std::size_t p = cfg.space.nCpus; p < cfg.space.nProcesses;
+         ++p)
+        ready.push_back(p);
+    std::vector<std::uint64_t> quantum(cfg.space.nCpus,
+                                       cfg.quantumRefs);
+
+    WorkloadSource source(cfg);
+    TraceRecord rec;
+    unsigned cpu = 0;
+    while (source.next(rec)) {
+        ASSERT_EQ(rec.cpu, cpu);
+        ASSERT_EQ(rec.pid, procOnCpu[cpu]);
+        if (--quantum[cpu] == 0) {
+            quantum[cpu] = cfg.quantumRefs;
+            ready.push_back(procOnCpu[cpu]);
+            procOnCpu[cpu] = ready.front();
+            ready.pop_front();
+        }
+        cpu = (cpu + 1) % cfg.space.nCpus;
+    }
+}
+
 TEST_F(WorkloadTest, MetaListsAllLockAddresses)
 {
     WorkloadConfig cfg = smallConfig();
@@ -507,7 +625,8 @@ class ProcessEngineTest : public ::testing::Test
 
 TEST_F(ProcessEngineTest, EmitsTaggedRecords)
 {
-    ProcessEngine proc(3, behavior, space, shared, rng);
+    BehaviorSamplers samplers(behavior);
+    ProcessEngine proc(3, behavior, samplers, space, shared, rng);
     for (int i = 0; i < 2000; ++i) {
         const auto rec = proc.step(1);
         EXPECT_EQ(rec.pid, 3);
@@ -520,7 +639,8 @@ TEST_F(ProcessEngineTest, InstructionFractionTracksConfig)
     behavior.pInstr = 0.7;
     behavior.pSystem = 0.0;
     behavior.wLockAttempt = 0.0; // no spin loops to skew the mix
-    ProcessEngine proc(0, behavior, space, shared, rng);
+    BehaviorSamplers samplers(behavior);
+    ProcessEngine proc(0, behavior, samplers, space, shared, rng);
     int instr = 0;
     const int steps = 30'000;
     for (int i = 0; i < steps; ++i)
@@ -540,7 +660,8 @@ TEST_F(ProcessEngineTest, MigratoryReadsAreFollowedByWrites)
     behavior.wSharedWrite = 0.0;
     behavior.wMigratory = 1.0;
     behavior.wLockAttempt = 0.0;
-    ProcessEngine proc(0, behavior, space, shared, rng);
+    BehaviorSamplers samplers(behavior);
+    ProcessEngine proc(0, behavior, samplers, space, shared, rng);
     std::uint64_t last_read_block = 0;
     bool awaiting_write = false;
     int writes_seen = 0;
@@ -577,7 +698,8 @@ TEST_F(ProcessEngineTest, SpinningHoldsUntilLockFrees)
     // Hold lock 0 on behalf of a phantom process.
     shared.locks.acquire(0, 99);
 
-    ProcessEngine proc(0, behavior, space, shared, rng);
+    BehaviorSamplers samplers(behavior);
+    ProcessEngine proc(0, behavior, samplers, space, shared, rng);
     // First step initiates the attempt; afterwards the process spins.
     for (int i = 0; i < 50; ++i) {
         const auto rec = proc.step(0);
@@ -612,7 +734,8 @@ TEST_F(ProcessEngineTest, CriticalSectionEndsWithRelease)
     behavior.hotLockFrac = 1.0;
     behavior.critMin = 5;
     behavior.critMax = 5;
-    ProcessEngine proc(0, behavior, space, shared, rng);
+    BehaviorSamplers samplers(behavior);
+    ProcessEngine proc(0, behavior, samplers, space, shared, rng);
 
     // Acquire: test read then test-and-set write.
     EXPECT_TRUE(proc.step(0).isLockTest());
@@ -642,8 +765,9 @@ TEST_F(ProcessEngineTest, RacingSpinnersNeverDoubleAcquire)
     behavior.hotLockFrac = 1.0;
     behavior.critMin = 3;
     behavior.critMax = 9;
-    ProcessEngine a(0, behavior, space, shared, rng);
-    ProcessEngine b(1, behavior, space, shared, rng);
+    BehaviorSamplers samplers(behavior);
+    ProcessEngine a(0, behavior, samplers, space, shared, rng);
+    ProcessEngine b(1, behavior, samplers, space, shared, rng);
     for (int i = 0; i < 20'000; ++i) {
         a.step(0);
         b.step(1);
